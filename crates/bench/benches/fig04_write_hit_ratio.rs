@@ -1,0 +1,71 @@
+//! Ob1 (Figure 4): XPBuffer write hit ratio of the baselines and their
+//! persistent-cache variants, random writes, values 32-256 B, one thread.
+//!
+//! Expected shape: removing flush instructions (`-w/o-flush`) slashes the
+//! hit ratio (random cacheline evictions), while lifting the MemTable into
+//! CAT-locked cache segments (`-cache`) restores most of it (ordered
+//! segment-granularity flushes).
+//!
+//! The LLC is scaled to 4 MiB (vs the paper's 36 MiB) so the scaled op
+//! count produces real capacity evictions for the `-w/o-flush` variants.
+
+use cachekv_bench::{banner, build_on, fresh_hierarchy_with_cache, row, BenchScale, SystemKind};
+use cachekv_workloads::{run_ops, DbBench, KeyGen, ValueGen};
+
+fn main() {
+    let mut scale = BenchScale::default();
+    scale.ops *= 2; // enough traffic to churn the scaled 4 MiB LLC
+    let key = KeyGen::paper();
+    let value_sizes = [32usize, 64, 128, 256];
+
+    // Scale the pieces to the 4 MiB LLC: unpinned MemTables larger than the
+    // cache (so unflushed writes must evict), pinned segments well inside it.
+    let adjust = |kind: SystemKind, s: &mut BenchScale| {
+        match kind {
+            SystemKind::NoveLsmCache | SystemKind::SlmDbCache => {
+                s.memtable_bytes = 1 << 20;
+                s.slmdb_memtable_bytes = 1 << 20;
+            }
+            SystemKind::SlmDb | SystemKind::SlmDbNoFlush => {
+                // Larger than the LLC, like NoveLSM's, so per-write traffic
+                // (not just flush-time table builds) reaches the device.
+                s.slmdb_memtable_bytes = 8 << 20;
+            }
+            _ => {}
+        }
+    };
+    let measure = |kind: SystemKind, vs: usize, ops: u64| -> cachekv_pmem::PmemStats {
+        let hier = fresh_hierarchy_with_cache(4 << 20);
+        let mut s = scale.clone();
+        adjust(kind, &mut s);
+        let inst = build_on(hier.clone(), kind, &s, 1);
+        hier.reset_stats();
+        let value = ValueGen::new(vs);
+        run_ops(&inst.store, DbBench::FillRandom, ops, ops, 1, &key, &value);
+        inst.store.quiesce();
+        hier.pmem_stats()
+    };
+
+    banner(
+        "Figure 4",
+        &format!("XPBuffer write hit ratio (%) — random writes, {} ops, 4 MiB LLC", scale.ops),
+    );
+    row("value size", &value_sizes.iter().map(|v| format!("{v} B")).collect::<Vec<_>>());
+    for kind in SystemKind::ob1_set() {
+        let cells = value_sizes
+            .iter()
+            .map(|&vs| format!("{:.1}", measure(kind, vs, scale.ops).write_hit_ratio() * 100.0))
+            .collect::<Vec<_>>();
+        row(kind.name(), &cells);
+    }
+
+    println!("\n(also reported: write amplification at 64 B values)");
+    let mut names = Vec::new();
+    let mut cells = Vec::new();
+    for kind in SystemKind::ob1_set() {
+        names.push(kind.name().to_string());
+        cells.push(format!("{:.2}x", measure(kind, 64, scale.ops).write_amplification()));
+    }
+    row("system", &names);
+    row("write amplification", &cells);
+}

@@ -1,0 +1,32 @@
+//! Exp#1 (Figure 10): sequential and random write throughput vs value size.
+//!
+//! Paper setup: 10 M inserts, 1 user thread, 16 B keys, values 16-256 B.
+//! Expected shape: CacheKV > PCSM+LIU > PCSM > NoveLSM-cache > NoveLSM >
+//! SLM-DB-cache ≳ SLM-DB, with CacheKV's lead growing as values shrink.
+
+use cachekv_bench::{banner, build, row, BenchScale, SystemKind};
+use cachekv_workloads::{run_ops, DbBench, KeyGen, ValueGen};
+
+fn main() {
+    let scale = BenchScale::default();
+    let key = KeyGen::paper();
+    let value_sizes = [16usize, 64, 128, 256];
+
+    for (mode, title) in [
+        (DbBench::FillSeq, "(a) sequential writes"),
+        (DbBench::FillRandom, "(b) random writes"),
+    ] {
+        banner("Figure 10", &format!("{title} — Kops/s, 1 thread, {} ops", scale.ops));
+        row("value size", &value_sizes.iter().map(|v| format!("{v} B")).collect::<Vec<_>>());
+        for kind in SystemKind::exp1_set() {
+            let mut cells = Vec::new();
+            for &vs in &value_sizes {
+                let inst = build(kind, &scale);
+                let value = ValueGen::new(vs);
+                let m = run_ops(&inst.store, mode, scale.keyspace, scale.ops, 1, &key, &value);
+                cells.push(format!("{:.1}", m.kops()));
+            }
+            row(kind.name(), &cells);
+        }
+    }
+}

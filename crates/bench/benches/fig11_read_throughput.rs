@@ -1,0 +1,35 @@
+//! Exp#2 (Figure 11): sequential and random read throughput vs value size.
+//!
+//! Each store is pre-filled, quiesced, and then read with one thread.
+//! Expected shape: CacheKV roughly matches NoveLSM (within a few percent,
+//! slightly behind on random reads due to sub-MemTable read amplification,
+//! ahead of PCSM/PCSM+LIU thanks to sub-skiplist compaction) and clearly
+//! beats SLM-DB.
+
+use cachekv_bench::{banner, build, row, BenchScale, SystemKind};
+use cachekv_workloads::{driver, run_ops, DbBench, KeyGen, ValueGen};
+
+fn main() {
+    let scale = BenchScale::default();
+    let key = KeyGen::paper();
+    let value_sizes = [16usize, 64, 128, 256];
+
+    for (mode, title) in [
+        (DbBench::ReadSeq, "(a) sequential reads"),
+        (DbBench::ReadRandom, "(b) random reads"),
+    ] {
+        banner("Figure 11", &format!("{title} — Kops/s, 1 thread, {} reads", scale.ops));
+        row("value size", &value_sizes.iter().map(|v| format!("{v} B")).collect::<Vec<_>>());
+        for kind in SystemKind::exp1_set() {
+            let mut cells = Vec::new();
+            for &vs in &value_sizes {
+                let inst = build(kind, &scale);
+                let value = ValueGen::new(vs);
+                driver::fill(&inst.store, scale.keyspace, &key, &value);
+                let m = run_ops(&inst.store, mode, scale.keyspace, scale.ops, 1, &key, &value);
+                cells.push(format!("{:.1}", m.kops()));
+            }
+            row(kind.name(), &cells);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Exp#5 (Figure 14): CacheKV write throughput vs background flush threads.
+//!
+//! Expected shape: for a fixed user-thread count, throughput climbs with
+//! flush threads and then plateaus (user threads become the bottleneck);
+//! more user threads raise the plateau and want more flushers.
+
+use cachekv_bench::{banner, build_with, row, BenchScale, SystemKind};
+use cachekv_workloads::{run_ops, DbBench, KeyGen, ValueGen};
+
+fn main() {
+    let scale = BenchScale::default();
+    let key = KeyGen::paper();
+    let value = ValueGen::new(64);
+    let flushers = [1usize, 2, 3, 4, 5, 6];
+    let user_threads = [2usize, 4, 6];
+
+    banner("Figure 14", &format!("CacheKV random-write Kops/s — {} writes/point", scale.ops));
+    row("flush threads", &flushers.iter().map(|f| f.to_string()).collect::<Vec<_>>());
+    for &u in &user_threads {
+        let mut cells = Vec::new();
+        for &f in &flushers {
+            // Smaller sub-MemTables so flushing is on the critical path at
+            // this scale (the paper's 10M-op runs keep one flusher busy).
+            let mut s = scale.clone();
+            s.subtable_bytes = 256 << 10;
+            let inst = build_with(SystemKind::CacheKv, &s, f);
+            let m = run_ops(&inst.store, DbBench::FillRandom, s.keyspace, s.ops / u as u64, u, &key, &value);
+            cells.push(format!("{:.1}", m.kops()));
+        }
+        row(&format!("{u} user threads"), &cells);
+    }
+}

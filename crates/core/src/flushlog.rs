@@ -1,0 +1,164 @@
+//! Persistent log of copy-flushed sub-ImmMemTable regions.
+//!
+//! The DRAM side knows where flushed tables live; after a crash that
+//! knowledge must come from somewhere persistent. This small log records
+//! the pool region and every flushed table's `(generation, base, len)`;
+//! it is rewritten (compacted) whenever a dump retires regions.
+
+use cachekv_cache::Hierarchy;
+use cachekv_storage::{PmemObject, WalReader, WalWriter};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const REC_POOL: u8 = 1;
+const REC_FLUSHED: u8 = 2;
+
+/// One recovered flushed-table record: `(generation, base, len)`.
+pub type FlushedRecord = (u64, u64, u64);
+
+/// Result of replaying the log: the pool region, the flushed tables, and a
+/// writer positioned at the valid tail.
+pub type RecoveredLog = (Option<(u64, u64)>, Vec<FlushedRecord>, FlushLog);
+
+/// The flushed-table log.
+pub struct FlushLog {
+    hier: Arc<Hierarchy>,
+    base: u64,
+    cap: u64,
+    writer: Mutex<WalWriter>,
+}
+
+impl FlushLog {
+    /// Create a fresh (empty) log at `[base, base+cap)`.
+    pub fn create(hier: Arc<Hierarchy>, base: u64, cap: u64) -> Self {
+        // Invalidate any stale first record.
+        hier.store(base, &[0u8; 8]);
+        hier.clwb(base, 8);
+        hier.sfence();
+        let obj = Arc::new(PmemObject::create(hier.clone(), base, cap));
+        FlushLog { hier, base, cap, writer: Mutex::new(WalWriter::new(obj)) }
+    }
+
+    /// Replay the log region after a crash. Returns the recorded pool
+    /// region, the flushed tables, and a writer positioned at the tail.
+    pub fn recover(hier: Arc<Hierarchy>, base: u64, cap: u64) -> RecoveredLog {
+        let scan = Arc::new(PmemObject::open(hier.clone(), base, cap, cap));
+        let mut reader = WalReader::new(scan);
+        let mut pool = None;
+        let mut flushed = Vec::new();
+        let mut valid = 0;
+        while let Some(rec) = reader.next() {
+            match rec.first() {
+                Some(&REC_POOL) if rec.len() >= 17 => {
+                    let b = u64::from_le_bytes(rec[1..9].try_into().unwrap());
+                    let s = u64::from_le_bytes(rec[9..17].try_into().unwrap());
+                    pool = Some((b, s));
+                }
+                Some(&REC_FLUSHED) if rec.len() >= 25 => {
+                    let gen = u64::from_le_bytes(rec[1..9].try_into().unwrap());
+                    let b = u64::from_le_bytes(rec[9..17].try_into().unwrap());
+                    let l = u64::from_le_bytes(rec[17..25].try_into().unwrap());
+                    flushed.push((gen, b, l));
+                }
+                _ => break,
+            }
+            valid = reader.pos();
+        }
+        let obj = Arc::new(PmemObject::open(hier.clone(), base, cap, valid));
+        let log = FlushLog { hier, base, cap, writer: Mutex::new(WalWriter::new(obj)) };
+        (pool, flushed, log)
+    }
+
+    /// Record the pool region (first record of a fresh log).
+    pub fn log_pool(&self, base: u64, size: u64) {
+        let mut rec = Vec::with_capacity(17);
+        rec.push(REC_POOL);
+        rec.extend_from_slice(&base.to_le_bytes());
+        rec.extend_from_slice(&size.to_le_bytes());
+        self.writer.lock().append(&rec);
+    }
+
+    /// Record one flushed table.
+    pub fn log_flushed(&self, gen: u64, base: u64, len: u64) {
+        let mut rec = Vec::with_capacity(25);
+        rec.push(REC_FLUSHED);
+        rec.extend_from_slice(&gen.to_le_bytes());
+        rec.extend_from_slice(&base.to_le_bytes());
+        rec.extend_from_slice(&len.to_le_bytes());
+        self.writer.lock().append(&rec);
+    }
+
+    /// Compact the log after a dump: keep only the pool record and the
+    /// surviving flushed tables.
+    pub fn reset_with(&self, pool_base: u64, pool_size: u64, survivors: &[(u64, u64, u64)]) {
+        let mut w = self.writer.lock();
+        self.hier.store(self.base, &[0u8; 8]);
+        self.hier.clwb(self.base, 8);
+        self.hier.sfence();
+        *w = WalWriter::new(Arc::new(PmemObject::create(self.hier.clone(), self.base, self.cap)));
+        let mut rec = Vec::with_capacity(25);
+        rec.push(REC_POOL);
+        rec.extend_from_slice(&pool_base.to_le_bytes());
+        rec.extend_from_slice(&pool_size.to_le_bytes());
+        w.append(&rec);
+        for &(gen, base, len) in survivors {
+            rec.clear();
+            rec.push(REC_FLUSHED);
+            rec.extend_from_slice(&gen.to_le_bytes());
+            rec.extend_from_slice(&base.to_le_bytes());
+            rec.extend_from_slice(&len.to_le_bytes());
+            w.append(&rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachekv_cache::CacheConfig;
+    use cachekv_pmem::{PmemConfig, PmemDevice};
+
+    fn hier() -> Arc<Hierarchy> {
+        let dev = Arc::new(PmemDevice::new(PmemConfig::small()));
+        Arc::new(Hierarchy::new(dev, CacheConfig::small()))
+    }
+
+    #[test]
+    fn roundtrip_through_crash() {
+        let h = hier();
+        {
+            let log = FlushLog::create(h.clone(), 0, 64 << 10);
+            log.log_pool(1 << 16, 12 << 10);
+            log.log_flushed(1, 0x5000, 4096);
+            log.log_flushed(2, 0x7000, 2048);
+        }
+        h.power_fail();
+        let (pool, flushed, _log) = FlushLog::recover(h, 0, 64 << 10);
+        assert_eq!(pool, Some((1 << 16, 12 << 10)));
+        assert_eq!(flushed, vec![(1, 0x5000, 4096), (2, 0x7000, 2048)]);
+    }
+
+    #[test]
+    fn reset_keeps_only_survivors() {
+        let h = hier();
+        let log = FlushLog::create(h.clone(), 0, 64 << 10);
+        log.log_pool(100, 200);
+        log.log_flushed(1, 0x1000, 64);
+        log.log_flushed(2, 0x2000, 64);
+        log.reset_with(100, 200, &[(2, 0x2000, 64)]);
+        log.log_flushed(3, 0x3000, 64);
+        drop(log);
+        h.power_fail();
+        let (pool, flushed, _) = FlushLog::recover(h, 0, 64 << 10);
+        assert_eq!(pool, Some((100, 200)));
+        assert_eq!(flushed, vec![(2, 0x2000, 64), (3, 0x3000, 64)]);
+    }
+
+    #[test]
+    fn empty_log_recovers_empty() {
+        let h = hier();
+        let (pool, flushed, _) = FlushLog::recover(h, 0, 64 << 10);
+        assert_eq!(pool, None);
+        assert!(flushed.is_empty());
+    }
+}

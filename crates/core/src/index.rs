@@ -1,0 +1,395 @@
+//! DRAM-resident indexes: per-sub-MemTable sub-skiplists with lazy
+//! synchronization (Section III-B) and the compacted global skiplist
+//! (Section III-D).
+//!
+//! A sub-skiplist tracks a `list counter` and `list tail pointer`; syncing
+//! compares them with the sub-MemTable's packed header and replays the data
+//! region's unindexed suffix. Because the index lives in volatile DRAM it is
+//! fully reconstructible from the (persistent) sub-MemTable after a crash —
+//! which is exactly what recovery does.
+
+use crate::subtable::SubTable;
+use cachekv_cache::Hierarchy;
+use cachekv_lsm::kv::{decode_record_at, Entry, RECORD_HDR};
+use cachekv_lsm::{DramSpace, SkipList};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+struct SubIndexInner {
+    list: SkipList<DramSpace>,
+    /// "list counter": records indexed so far.
+    synced_count: u64,
+    /// "list tail pointer": data-region offset indexed up to.
+    synced_tail: u64,
+}
+
+/// The index of one sub-MemTable (or of one flushed sub-ImmMemTable).
+pub struct SubIndex {
+    inner: RwLock<SubIndexInner>,
+}
+
+impl SubIndex {
+    /// Size the skiplist arena for a data region of `data_cap` bytes
+    /// (worst-case small records need more index than data).
+    pub fn for_data_capacity(data_cap: u64) -> Arc<Self> {
+        let arena = (data_cap * 3) as usize + 4096;
+        Arc::new(SubIndex {
+            inner: RwLock::new(SubIndexInner {
+                list: SkipList::new(DramSpace::new(arena)),
+                synced_count: 0,
+                synced_tail: 0,
+            }),
+        })
+    }
+
+    /// `(list counter, list tail pointer)`.
+    pub fn counters(&self) -> (u64, u64) {
+        let g = self.inner.read();
+        (g.synced_count, g.synced_tail)
+    }
+
+    /// Whether the index lags the sub-MemTable (cheap check: counters).
+    pub fn needs_sync(&self, st: &SubTable) -> bool {
+        self.inner.read().synced_count != st.header().counter()
+    }
+
+    /// Bring the sub-skiplist up to date with the sub-MemTable by replaying
+    /// `[list tail, table tail)` of the data region. Returns how many
+    /// records were indexed.
+    pub fn sync(&self, st: &SubTable) -> usize {
+        let h = st.header();
+        {
+            let g = self.inner.read();
+            if g.synced_count == h.counter() {
+                return 0;
+            }
+        }
+        let mut g = self.inner.write();
+        if g.synced_count == h.counter() {
+            return 0; // raced with another syncer
+        }
+        let start = g.synced_tail;
+        let end = h.tail();
+        debug_assert!(end >= start);
+        let raw = st.read_data(start, (end - start) as usize);
+        let mut pos = 0usize;
+        let mut added = 0usize;
+        while let Some((e, next)) = decode_record_at(&raw, pos) {
+            let off = (start + pos as u64) as u32;
+            g.list
+                .insert(&e.key, e.meta, &off.to_le_bytes())
+                .expect("sub-skiplist arena sized for its data region");
+            pos = next;
+            added += 1;
+        }
+        g.synced_tail = end;
+        g.synced_count += added as u64;
+        debug_assert_eq!(g.synced_count, h.counter(), "record scan must match the table counter");
+        added
+    }
+
+    /// Rebuild from a raw record region `[base, base+len)` (a copy-flushed
+    /// data region, which has no header line): replay everything after the
+    /// current list tail.
+    pub fn sync_from_region(&self, hier: &Arc<Hierarchy>, base: u64, len: u64) -> usize {
+        let mut g = self.inner.write();
+        let start = g.synced_tail;
+        if start >= len {
+            return 0;
+        }
+        let raw = hier.load_vec(base + start, (len - start) as usize);
+        let mut pos = 0usize;
+        let mut added = 0usize;
+        while let Some((e, next)) = decode_record_at(&raw, pos) {
+            let off = (start + pos as u64) as u32;
+            g.list
+                .insert(&e.key, e.meta, &off.to_le_bytes())
+                .expect("sub-skiplist arena sized for its data region");
+            pos = next;
+            added += 1;
+        }
+        g.synced_tail = start + pos as u64;
+        g.synced_count += added as u64;
+        added
+    }
+
+    /// Diligent (PCSM-mode) insert, performed on the write path.
+    pub fn insert_direct(&self, key: &[u8], meta: u64, off: u64) {
+        let mut g = self.inner.write();
+        g.list
+            .insert(key, meta, &(off as u32).to_le_bytes())
+            .expect("sub-skiplist arena sized for its data region");
+        g.synced_count += 1;
+        // Tail advances with the table; exact value is refreshed on sync.
+    }
+
+    /// Newest `(meta, data-region offset)` for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<(u64, u32)> {
+        let g = self.inner.read();
+        g.list
+            .get_latest(key)
+            .map(|(meta, v)| (meta, u32::from_le_bytes(v[..4].try_into().unwrap())))
+    }
+
+    /// All indexed `(key, meta, offset)` triples in internal order.
+    pub fn entries(&self) -> Vec<IndexedEntry> {
+        let g = self.inner.read();
+        g.list
+            .iter()
+            .map(|e| {
+                let off = u32::from_le_bytes(e.value[..4].try_into().unwrap());
+                (e.key, e.meta, off)
+            })
+            .collect()
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.inner.read().list.len()
+    }
+
+    /// True when nothing is indexed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Read the full record at `region_base + off` through the hierarchy.
+pub fn read_record(hier: &Arc<Hierarchy>, region_base: u64, off: u64) -> Entry {
+    let hdr = hier.load_vec(region_base + off, RECORD_HDR);
+    let klen = u16::from_le_bytes(hdr[0..2].try_into().unwrap()) as usize;
+    let vlen = u32::from_le_bytes(hdr[2..6].try_into().unwrap()) as usize;
+    let raw = hier.load_vec(region_base + off, RECORD_HDR + klen + vlen);
+    let (e, _) = decode_record_at(&raw, 0).expect("indexed record must decode");
+    e
+}
+
+/// A sub-ImmMemTable that has been copy-flushed out of the cache: its data
+/// region now lives at `base` in ordinary PMem, still indexed by its (fully
+/// synced) sub-skiplist.
+pub struct FlushedTable {
+    /// Generation number (monotone; also logged persistently).
+    pub gen: u64,
+    /// Region holding the copied data region.
+    pub base: u64,
+    /// Bytes of data.
+    pub len: u64,
+    /// The table's sub-skiplist.
+    pub index: Arc<SubIndex>,
+}
+
+/// One indexed record: `(key, meta, data-region offset)`.
+pub type IndexedEntry = (Vec<u8>, u64, u32);
+
+/// One compaction source: a table generation and its indexed entries.
+pub type TableEntries = (u64, Vec<IndexedEntry>);
+
+/// The compacted global skiplist: one entry per live key across the flushed
+/// tables, valued by `(generation, data offset)`.
+pub struct GlobalIndex {
+    list: SkipList<DramSpace>,
+    entries: usize,
+}
+
+impl GlobalIndex {
+    /// Merge `sources` (each `(gen, entries)` in internal order, newest data
+    /// included) plus an optional previous global index into a fresh,
+    /// deduplicated global skiplist — the sub-skiplist compaction of
+    /// Figure 9. Only the newest version of each key survives.
+    pub fn compact(prev: Option<&GlobalIndex>, sources: &[TableEntries]) -> GlobalIndex {
+        // Gather (key, meta, gen, off) from every source, then sort in
+        // internal order and keep the first (= newest) per key.
+        let mut all: Vec<(Vec<u8>, u64, u64, u32)> = Vec::new();
+        if let Some(p) = prev {
+            for e in p.list.iter() {
+                let gen = u64::from_le_bytes(e.value[0..8].try_into().unwrap());
+                let off = u32::from_le_bytes(e.value[8..12].try_into().unwrap());
+                all.push((e.key, e.meta, gen, off));
+            }
+        }
+        for (gen, entries) in sources {
+            for (key, meta, off) in entries {
+                all.push((key.clone(), *meta, *gen, *off));
+            }
+        }
+        all.sort_by(|a, b| cachekv_lsm::kv::internal_cmp(&a.0, a.1, &b.0, b.1));
+        let node_budget: usize = all.iter().map(|(k, ..)| k.len() + 48).sum::<usize>() + 4096;
+        let mut list = SkipList::new(DramSpace::new(node_budget));
+        let mut entries = 0;
+        let mut last_key: Option<&[u8]> = None;
+        // Borrow gymnastics: collect survivor indices first.
+        let mut keep = Vec::with_capacity(all.len());
+        for (i, (key, ..)) in all.iter().enumerate() {
+            if last_key == Some(key.as_slice()) {
+                continue;
+            }
+            last_key = Some(key.as_slice());
+            keep.push(i);
+        }
+        for i in keep {
+            let (key, meta, gen, off) = &all[i];
+            let mut v = [0u8; 12];
+            v[0..8].copy_from_slice(&gen.to_le_bytes());
+            v[8..12].copy_from_slice(&off.to_le_bytes());
+            list.insert(key, *meta, &v).expect("global skiplist arena sized from inputs");
+            entries += 1;
+        }
+        GlobalIndex { list, entries }
+    }
+
+    /// Newest `(meta, gen, off)` for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<(u64, u64, u32)> {
+        self.list.get_latest(key).map(|(meta, v)| {
+            let gen = u64::from_le_bytes(v[0..8].try_into().unwrap());
+            let off = u32::from_le_bytes(v[8..12].try_into().unwrap());
+            (meta, gen, off)
+        })
+    }
+
+    /// Live entries (for the L0 dump).
+    pub fn entries(&self) -> Vec<(Vec<u8>, u64, u64, u32)> {
+        self.list
+            .iter()
+            .map(|e| {
+                let gen = u64::from_le_bytes(e.value[0..8].try_into().unwrap());
+                let off = u32::from_le_bytes(e.value[8..12].try_into().unwrap());
+                (e.key, e.meta, gen, off)
+            })
+            .collect()
+    }
+
+    /// Number of live keys indexed.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when the index holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subtable::{Append, SubTable};
+    use cachekv_cache::CacheConfig;
+    use cachekv_lsm::kv::{meta_seq, pack_meta, EntryKind};
+    use cachekv_pmem::{PmemConfig, PmemDevice};
+
+    fn subtable() -> SubTable {
+        let dev = Arc::new(PmemDevice::new(PmemConfig::small()));
+        let hier = Arc::new(Hierarchy::new(dev, CacheConfig::small()));
+        hier.cat_lock(0, 64 << 10);
+        let st = SubTable::new(hier, 0, 64 << 10);
+        st.reset_free();
+        st.try_acquire();
+        st
+    }
+
+    fn fill(st: &SubTable, n: u64, seq0: u64) {
+        let mut scratch = Vec::new();
+        for i in 0..n {
+            let r = st
+                .append(
+                    format!("key{:04}", i % 40).as_bytes(),
+                    pack_meta(seq0 + i, EntryKind::Put),
+                    format!("v{}", seq0 + i).as_bytes(),
+                    &mut scratch,
+                )
+                .unwrap();
+            assert!(matches!(r, Append::Ok(_)));
+        }
+    }
+
+    #[test]
+    fn lazy_sync_replays_exactly_the_gap() {
+        let st = subtable();
+        let idx = SubIndex::for_data_capacity(st.data_capacity());
+        fill(&st, 100, 1);
+        assert!(idx.needs_sync(&st));
+        assert_eq!(idx.sync(&st), 100);
+        assert!(!idx.needs_sync(&st));
+        assert_eq!(idx.sync(&st), 0, "second sync is a no-op");
+        fill(&st, 50, 101);
+        assert_eq!(idx.sync(&st), 50, "only the suffix replays");
+        let (count, tail) = idx.counters();
+        assert_eq!(count, 150);
+        assert_eq!(tail, st.header().tail());
+    }
+
+    #[test]
+    fn get_returns_newest_version() {
+        let st = subtable();
+        let idx = SubIndex::for_data_capacity(st.data_capacity());
+        fill(&st, 120, 1); // keys cycle mod 40, three versions each
+        idx.sync(&st);
+        let (meta, off) = idx.get(b"key0005").unwrap();
+        assert_eq!(meta_seq(meta), 86, "third version of key 5 (seq 6, 46, 86)");
+        let e = read_record(st.hierarchy(), st.base + crate::subtable::DATA_OFF, off as u64);
+        assert_eq!(e.value, b"v86");
+    }
+
+    #[test]
+    fn direct_insert_matches_sync_results() {
+        let st = subtable();
+        let idx = SubIndex::for_data_capacity(st.data_capacity());
+        let mut scratch = Vec::new();
+        for i in 0..30u64 {
+            let key = format!("k{i:03}");
+            let meta = pack_meta(i + 1, EntryKind::Put);
+            if let Append::Ok(off) = st.append(key.as_bytes(), meta, b"v", &mut scratch).unwrap() {
+                idx.insert_direct(key.as_bytes(), meta, off);
+            }
+        }
+        assert_eq!(idx.len(), 30);
+        assert!(idx.get(b"k015").is_some());
+    }
+
+    #[test]
+    fn global_compaction_drops_stale_versions() {
+        // Two "tables": gen 1 has old versions, gen 2 newer ones.
+        let older: Vec<(Vec<u8>, u64, u32)> = (0..10)
+            .map(|i| (format!("k{i:02}").into_bytes(), pack_meta(i + 1, EntryKind::Put), i as u32 * 32))
+            .collect();
+        let newer: Vec<(Vec<u8>, u64, u32)> = (0..5)
+            .map(|i| (format!("k{i:02}").into_bytes(), pack_meta(i + 100, EntryKind::Put), i as u32 * 32))
+            .collect();
+        let g = GlobalIndex::compact(None, &[(1, older), (2, newer)]);
+        assert_eq!(g.len(), 10, "10 distinct keys survive");
+        let (meta, gen, _) = g.get(b"k03").unwrap();
+        assert_eq!(meta_seq(meta), 103);
+        assert_eq!(gen, 2, "newest version points at the newer table");
+        let (_, gen_old, _) = g.get(b"k07").unwrap();
+        assert_eq!(gen_old, 1, "unshadowed key still points at gen 1");
+    }
+
+    #[test]
+    fn incremental_compaction_folds_previous_global() {
+        let first: Vec<(Vec<u8>, u64, u32)> =
+            vec![(b"a".to_vec(), pack_meta(1, EntryKind::Put), 0)];
+        let g1 = GlobalIndex::compact(None, &[(1, first)]);
+        let second: Vec<(Vec<u8>, u64, u32)> =
+            vec![(b"a".to_vec(), pack_meta(9, EntryKind::Put), 64), (b"b".to_vec(), pack_meta(5, EntryKind::Put), 0)];
+        let g2 = GlobalIndex::compact(Some(&g1), &[(2, second)]);
+        assert_eq!(g2.len(), 2);
+        assert_eq!(g2.get(b"a").unwrap().1, 2, "newer gen wins");
+        assert!(g2.get(b"b").is_some());
+    }
+
+    #[test]
+    fn concurrent_readers_during_sync() {
+        let st = subtable();
+        let idx = SubIndex::for_data_capacity(st.data_capacity());
+        fill(&st, 200, 1);
+        let idx2 = idx.clone();
+        let st2 = st.clone();
+        let h = std::thread::spawn(move || idx2.sync(&st2));
+        // Readers may observe a prefix; they must never panic.
+        for _ in 0..100 {
+            let _ = idx.get(b"key0000");
+        }
+        h.join().unwrap();
+        assert_eq!(idx.len(), 200);
+    }
+}

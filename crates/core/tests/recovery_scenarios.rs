@@ -1,0 +1,166 @@
+//! Recovery scenarios beyond the basics: elastic (split) pool layouts,
+//! crashes around L0 dumps and flush-log resets, and repeated
+//! crash/recover cycles with interleaved writes.
+
+use cachekv::{CacheKv, CacheKvConfig, Techniques};
+use cachekv_cache::{CacheConfig, Hierarchy};
+use cachekv_lsm::KvStore;
+use cachekv_pmem::{LatencyConfig, PmemConfig, PmemDevice};
+use std::sync::Arc;
+
+fn hier() -> Arc<Hierarchy> {
+    let dev = Arc::new(PmemDevice::new(
+        PmemConfig::paper_scaled().with_latency(LatencyConfig::zero()),
+    ));
+    Arc::new(Hierarchy::new(dev, CacheConfig::paper()))
+}
+
+fn tiny_cfg() -> CacheKvConfig {
+    CacheKvConfig {
+        pool_bytes: 64 << 10,
+        subtable_bytes: 16 << 10,
+        min_subtable_bytes: 4 << 10,
+        dump_threshold_bytes: 48 << 10,
+        num_cores: 4,
+        miss_threshold: 1,
+        ..CacheKvConfig::test_small()
+    }
+}
+
+#[test]
+fn recovery_with_elastically_split_pool_directory() {
+    let h = hier();
+    let layout_before;
+    {
+        let db = Arc::new(CacheKv::create(h.clone(), tiny_cfg()));
+        // Over-subscribe the pool from many threads to force elasticity
+        // splits (miss_threshold = 1).
+        let mut handles = Vec::new();
+        for t in 0..6u32 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u32 {
+                    db.put(format!("t{t}-{i:06}").as_bytes(), &[7u8; 48]).unwrap();
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        db.quiesce();
+        // Capture after quiesce: releases during the drain may still split.
+        layout_before = db.pool().slot_layout();
+    }
+    h.power_fail();
+    let db = CacheKv::recover(h, tiny_cfg()).unwrap();
+    // The persisted directory round-trips the (possibly irregular) layout.
+    assert_eq!(db.pool().slot_layout(), layout_before, "split slot geometry survived");
+    for t in 0..6u32 {
+        for i in (0..2_000u32).step_by(333) {
+            assert_eq!(
+                db.get(format!("t{t}-{i:06}").as_bytes()).unwrap(),
+                Some(vec![7u8; 48]),
+                "t{t}-{i} lost across crash with split pool"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_immediately_after_dump_threshold_crossed() {
+    // Write just past the dump threshold so the crash lands near the
+    // dump/flush-log-reset window, then verify nothing is lost or doubled.
+    let h = hier();
+    let n = 4_000u32; // ~ 48 B records * 4000 ≈ 260 KiB >> 48 KiB threshold
+    {
+        let db = CacheKv::create(h.clone(), tiny_cfg());
+        for i in 0..n {
+            db.put(format!("key{i:07}").as_bytes(), format!("val{i}").as_bytes()).unwrap();
+        }
+        db.quiesce(); // forces compaction + dump
+    }
+    h.power_fail();
+    let db = CacheKv::recover(h, tiny_cfg()).unwrap();
+    for i in (0..n).step_by(173) {
+        assert_eq!(
+            db.get(format!("key{i:07}").as_bytes()).unwrap(),
+            Some(format!("val{i}").into_bytes())
+        );
+    }
+    // Data really reached the LSM (the dump happened before the crash).
+    assert!(db.storage().level_tables().iter().sum::<usize>() > 0);
+}
+
+#[test]
+fn five_crash_cycles_with_overwrites() {
+    let h = hier();
+    for generation in 0..5u32 {
+        let db = if generation == 0 {
+            CacheKv::create(h.clone(), tiny_cfg())
+        } else {
+            CacheKv::recover(h.clone(), tiny_cfg()).unwrap()
+        };
+        for i in 0..600u32 {
+            db.put(format!("k{i:05}").as_bytes(), format!("gen{generation}").as_bytes()).unwrap();
+        }
+        // Check a previous generation's overwrites are visible pre-crash.
+        assert_eq!(db.get(b"k00300").unwrap(), Some(format!("gen{generation}").into_bytes()));
+        drop(db);
+        h.power_fail();
+    }
+    let db = CacheKv::recover(h, tiny_cfg()).unwrap();
+    for i in (0..600u32).step_by(97) {
+        assert_eq!(
+            db.get(format!("k{i:05}").as_bytes()).unwrap(),
+            Some(b"gen4".to_vec()),
+            "k{i}: newest generation must win after 5 crash cycles"
+        );
+    }
+}
+
+#[test]
+fn pcsm_variant_recovers_too() {
+    // The ablation configurations must share the recovery path.
+    let cfg = CacheKvConfig { techniques: Techniques::pcsm(), ..tiny_cfg() };
+    let h = hier();
+    {
+        let db = CacheKv::create(h.clone(), cfg.clone());
+        for i in 0..1_500u32 {
+            db.put(format!("k{i:05}").as_bytes(), b"pcsm").unwrap();
+        }
+    }
+    h.power_fail();
+    let db = CacheKv::recover(h, cfg).unwrap();
+    assert_eq!(db.get(b"k01499").unwrap(), Some(b"pcsm".to_vec()));
+    assert_eq!(db.get(b"k00000").unwrap(), Some(b"pcsm".to_vec()));
+}
+
+#[test]
+fn recovery_is_idempotent_without_new_writes() {
+    // Crash, recover, crash again *without writing*: second recovery must
+    // see the identical state (the re-flush of live sub-MemTables during
+    // recovery must not duplicate or drop versions).
+    let h = hier();
+    {
+        let db = CacheKv::create(h.clone(), tiny_cfg());
+        for i in 0..2_500u32 {
+            db.put(format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        for i in 0..50u32 {
+            db.delete(format!("k{i:05}").as_bytes()).unwrap();
+        }
+    }
+    for _ in 0..2 {
+        h.power_fail();
+        let db = CacheKv::recover(h.clone(), tiny_cfg()).unwrap();
+        for i in (0..50u32).step_by(7) {
+            assert_eq!(db.get(format!("k{i:05}").as_bytes()).unwrap(), None);
+        }
+        for i in (50..2_500u32).step_by(211) {
+            assert_eq!(
+                db.get(format!("k{i:05}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! LSM-tree substrate: everything below the memory component.
+//!
+//! Provides the building blocks that LevelDB-style stores (and the paper's
+//! baselines, and CacheKV itself) are assembled from:
+//!
+//! * [`kv`] — the public [`kv::KvStore`] trait, errors, and internal entry
+//!   encoding (sequence numbers, tombstones);
+//! * [`memspace`] — an abstraction over *where* index/table bytes live:
+//!   native DRAM or the simulated persistent hierarchy (with a configurable
+//!   flush discipline), so the same skiplist runs in both worlds;
+//! * [`skiplist`] — an arena-backed, offset-addressed skiplist;
+//! * [`memtable`] — MemTable/ImmMemTable over the skiplist;
+//! * [`bloom`] — a LevelDB-style bloom filter;
+//! * [`sstable`] — sorted string tables with data blocks, a bloom filter and
+//!   a block index, written to persistent objects with streaming stores;
+//! * [`version`] — the leveled table organization (`L0` overlapping, `L1+`
+//!   sorted) with version edits and a persistent manifest;
+//! * [`compaction`] — k-way merge and compaction picking/execution;
+//! * [`storage_component`] — the full "storage component" of Figure 2:
+//!   ingest sorted runs, serve reads, compact in the background;
+//! * [`tree`] — a classic LevelDB-like engine (WAL + shared MemTable +
+//!   storage component), the reference point all paper variants diverge
+//!   from.
+
+pub mod bloom;
+pub mod compaction;
+pub mod kv;
+pub mod memspace;
+pub mod memtable;
+pub mod skiplist;
+pub mod sstable;
+pub mod storage_component;
+pub mod tree;
+pub mod version;
+
+pub use kv::{Entry, EntryKind, Error, KvStore, Result};
+pub use memspace::{DramSpace, FlushMode, MemSpace, PmemSpace};
+pub use memtable::MemTable;
+pub use skiplist::SkipList;
+pub use storage_component::{StorageComponent, StorageConfig};
+pub use tree::{LsmConfig, LsmTree};

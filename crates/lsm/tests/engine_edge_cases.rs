@@ -1,0 +1,129 @@
+//! Edge cases of the reference engine: crashes around WAL rotation,
+//! recovery of empty/heavily-compacted stores, and stale-log hygiene.
+
+use cachekv_cache::{CacheConfig, Hierarchy};
+use cachekv_lsm::{KvStore, LsmConfig, LsmTree, StorageConfig};
+use cachekv_pmem::{LatencyConfig, PersistDomain, PmemConfig, PmemDevice};
+use std::sync::Arc;
+
+fn hier(domain: PersistDomain) -> Arc<Hierarchy> {
+    let dev = Arc::new(PmemDevice::new(
+        PmemConfig::paper_scaled()
+            .with_domain(domain)
+            .with_latency(LatencyConfig::zero()),
+    ));
+    Arc::new(Hierarchy::new(dev, CacheConfig::paper()))
+}
+
+fn cfg() -> LsmConfig {
+    LsmConfig { memtable_bytes: 8 << 10, storage: StorageConfig::test_small() }
+}
+
+#[test]
+fn recovery_of_empty_store() {
+    let h = hier(PersistDomain::Adr);
+    {
+        let _db = LsmTree::create(h.clone(), cfg());
+    }
+    h.power_fail();
+    let db = LsmTree::recover(h, cfg()).unwrap();
+    assert_eq!(db.get(b"anything").unwrap(), None);
+    db.put(b"now", b"works").unwrap();
+    assert_eq!(db.get(b"now").unwrap(), Some(b"works".to_vec()));
+}
+
+#[test]
+fn crash_straddling_wal_rotation_boundaries() {
+    // The 8 KiB MemTable rotates every ~100 records; crash at counts that
+    // land just before, on, and just after rotation boundaries.
+    for n in [95usize, 100, 105, 205, 399] {
+        let h = hier(PersistDomain::Adr);
+        {
+            let db = LsmTree::create(h.clone(), cfg());
+            for i in 0..n {
+                db.put(format!("k{i:06}").as_bytes(), &[9u8; 48]).unwrap();
+            }
+            db.quiesce();
+        }
+        h.power_fail();
+        let db = LsmTree::recover(h, cfg()).unwrap();
+        for i in 0..n {
+            assert_eq!(
+                db.get(format!("k{i:06}").as_bytes()).unwrap(),
+                Some(vec![9u8; 48]),
+                "n={n}: key {i} lost around rotation"
+            );
+        }
+        assert_eq!(db.get(format!("k{n:06}").as_bytes()).unwrap(), None, "n={n}: phantom key");
+    }
+}
+
+#[test]
+fn stale_wal_from_longer_previous_generation_does_not_replay() {
+    // Generation 1 writes many records (long WAL); after rotation the WAL
+    // restarts. A crash then must replay only the current WAL, never the
+    // longer previous generation's remnant bytes.
+    let h = hier(PersistDomain::Adr);
+    {
+        let db = LsmTree::create(h.clone(), cfg());
+        // ~3 rotations worth of unique keys.
+        for i in 0..300usize {
+            db.put(format!("gen1-{i:06}").as_bytes(), &[1u8; 48]).unwrap();
+        }
+        // A couple of fresh writes into the newest (short) WAL.
+        db.put(b"fresh-a", b"1").unwrap();
+        db.put(b"fresh-b", b"2").unwrap();
+        db.quiesce();
+    }
+    h.power_fail();
+    let db = LsmTree::recover(h.clone(), cfg()).unwrap();
+    assert_eq!(db.get(b"fresh-a").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(db.get(b"gen1-000299").unwrap(), Some(vec![1u8; 48]));
+    // Every key readable exactly once with its value; no duplicates is
+    // implied by sequence-number monotonicity — just assert a fresh write
+    // still lands with a newer sequence.
+    db.put(b"gen1-000000", b"overwritten").unwrap();
+    assert_eq!(db.get(b"gen1-000000").unwrap(), Some(b"overwritten".to_vec()));
+}
+
+#[test]
+fn deep_compaction_keeps_all_live_data() {
+    // Push enough churn through tiny levels that multiple level-N
+    // compactions run, then verify the full key population.
+    let h = hier(PersistDomain::Eadr);
+    let db = LsmTree::create(h.clone(), cfg());
+    for round in 0..6u32 {
+        for i in 0..1_200u32 {
+            db.put(format!("k{i:06}").as_bytes(), format!("r{round}-{i}").as_bytes()).unwrap();
+        }
+    }
+    db.quiesce();
+    let tables = db.storage().level_tables();
+    assert!(tables.iter().skip(2).any(|&n| n > 0), "compaction reached deep levels: {tables:?}");
+    for i in (0..1_200u32).step_by(59) {
+        assert_eq!(
+            db.get(format!("k{i:06}").as_bytes()).unwrap(),
+            Some(format!("r5-{i}").into_bytes()),
+            "k{i} must read its round-5 value"
+        );
+    }
+}
+
+#[test]
+fn recovery_after_deep_compaction() {
+    let h = hier(PersistDomain::Eadr);
+    {
+        let db = LsmTree::create(h.clone(), cfg());
+        for round in 0..5u32 {
+            for i in 0..1_000u32 {
+                db.put(format!("k{i:06}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+            }
+        }
+        db.quiesce();
+    }
+    h.power_fail();
+    let db = LsmTree::recover(h, cfg()).unwrap();
+    for i in (0..1_000u32).step_by(41) {
+        assert_eq!(db.get(format!("k{i:06}").as_bytes()).unwrap(), Some(b"r4".to_vec()));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests: the device behaves as flat coherent memory regardless of
+//! XPBuffer staging, interleaving, or power failures, and its counters obey
+//! their invariants.
+
+use cachekv_pmem::{PmemConfig, PmemDevice};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum DevOp {
+    Write { addr: u64, len: usize, fill: u8 },
+    Read { addr: u64, len: usize },
+    Drain,
+    PowerFail,
+}
+
+const SPACE: u64 = 64 << 10;
+
+fn op_strategy() -> impl Strategy<Value = DevOp> {
+    prop_oneof![
+        4 => (0..SPACE - 512, 1usize..512, any::<u8>())
+            .prop_map(|(addr, len, fill)| DevOp::Write { addr, len, fill }),
+        3 => (0..SPACE - 512, 1usize..512).prop_map(|(addr, len)| DevOp::Read { addr, len }),
+        1 => Just(DevOp::Drain),
+        1 => Just(DevOp::PowerFail),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn device_is_coherent_flat_memory(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let dev = PmemDevice::new(PmemConfig::small());
+        let mut model = vec![0u8; SPACE as usize];
+        for op in ops {
+            match op {
+                DevOp::Write { addr, len, fill } => {
+                    let data = vec![fill; len];
+                    dev.write(addr, &data);
+                    model[addr as usize..addr as usize + len].copy_from_slice(&data);
+                }
+                DevOp::Read { addr, len } => {
+                    let mut buf = vec![0u8; len];
+                    dev.read(addr, &mut buf);
+                    prop_assert_eq!(&buf[..], &model[addr as usize..addr as usize + len]);
+                }
+                DevOp::Drain => dev.drain(),
+                DevOp::PowerFail => dev.power_fail(),
+            }
+        }
+        // Final sweep: the whole space matches after a drain.
+        dev.drain();
+        let mut buf = vec![0u8; SPACE as usize];
+        dev.read(0, &mut buf);
+        prop_assert_eq!(buf, model);
+    }
+
+    #[test]
+    fn counters_are_consistent(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let dev = PmemDevice::new(PmemConfig::small());
+        for op in ops {
+            match op {
+                DevOp::Write { addr, len, fill } => dev.write(addr, &vec![fill; len]),
+                DevOp::Read { addr, len } => {
+                    let mut buf = vec![0u8; len];
+                    dev.read(addr, &mut buf);
+                }
+                DevOp::Drain => dev.drain(),
+                DevOp::PowerFail => dev.power_fail(),
+            }
+        }
+        dev.drain();
+        let s = dev.stats();
+        // Every CPU write either hit or missed the buffer.
+        prop_assert_eq!(s.cpu_writes, s.xpbuffer_hits + s.xpbuffer_misses);
+        // Media writes happen in whole XPLines, one per eviction.
+        prop_assert_eq!(s.media_write_bytes % 256, 0);
+        prop_assert_eq!(s.media_write_bytes / 256, s.full_evictions + s.rmw_evictions);
+        // After a full drain nothing is left staged: every miss opened a
+        // slot that was eventually evicted.
+        prop_assert_eq!(s.xpbuffer_misses, s.full_evictions + s.rmw_evictions);
+        // RMW evictions are exactly the ones that read the media.
+        prop_assert!(s.media_read_bytes >= s.rmw_evictions * 256);
+    }
+}

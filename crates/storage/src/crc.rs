@@ -1,0 +1,58 @@
+//! CRC-32C (Castagnoli), the checksum LevelDB uses for log records and
+//! table blocks. Table-driven, no dependencies.
+
+const POLY: u32 = 0x82F6_3B78; // reflected CRC-32C polynomial
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Compute the CRC-32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 test vectors for CRC-32C.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let inc: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&inc), 0x46DD_794E);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(crc32c(&[]), 0);
+    }
+
+    #[test]
+    fn differs_on_single_bit() {
+        let a = crc32c(b"hello world");
+        let b = crc32c(b"hello worle");
+        assert_ne!(a, b);
+    }
+}

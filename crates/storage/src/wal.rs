@@ -1,0 +1,180 @@
+//! Write-ahead log over a [`PmemObject`].
+//!
+//! Record format (little-endian):
+//!
+//! ```text
+//! +----------+----------+------------------+
+//! | len: u32 | crc: u32 | payload: len B   |
+//! +----------+----------+------------------+
+//! ```
+//!
+//! A record with `len == 0` (or a CRC mismatch, e.g. a torn write) ends
+//! replay. Appends persist via `clwb` + fence, which is the classic ADR
+//! logging discipline the paper's Step 2 (Figure 2) describes.
+
+use crate::crc::crc32c;
+use crate::object::PmemObject;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const HEADER: u64 = 8;
+
+/// Appender half of the log. One writer at a time (internally serialized).
+pub struct WalWriter {
+    obj: Arc<PmemObject>,
+    write_lock: Mutex<()>,
+}
+
+impl WalWriter {
+    /// Wrap an object as a log.
+    pub fn new(obj: Arc<PmemObject>) -> Self {
+        WalWriter { obj, write_lock: Mutex::new(()) }
+    }
+
+    /// Append one durable record. Returns the record's offset.
+    ///
+    /// A zeroed header is written just past the record (without advancing
+    /// the length) so replay terminates even when this log overwrites a
+    /// longer previous incarnation whose stale records would otherwise
+    /// still carry valid CRCs.
+    pub fn append(&self, payload: &[u8]) -> u64 {
+        assert!(!payload.is_empty(), "empty WAL record is a terminator");
+        let _g = self.write_lock.lock();
+        let mut rec = Vec::with_capacity(payload.len() + HEADER as usize + 8);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32c(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        let body_len = rec.len();
+        let off = self.obj.append(&rec);
+        let h = self.obj.hierarchy();
+        let terminator = (self.obj.capacity() - self.obj.len()).min(8) as usize;
+        if terminator > 0 {
+            h.store(self.obj.base() + off + body_len as u64, &vec![0u8; terminator]);
+        }
+        h.clwb(self.obj.base() + off, body_len + terminator);
+        h.sfence();
+        off
+    }
+
+    /// Bytes appended so far.
+    pub fn len(&self) -> u64 {
+        self.obj.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.obj.is_empty()
+    }
+
+    /// The underlying object.
+    pub fn object(&self) -> &Arc<PmemObject> {
+        &self.obj
+    }
+}
+
+/// Replay iterator over a log region.
+pub struct WalReader {
+    obj: Arc<PmemObject>,
+    pos: u64,
+}
+
+impl WalReader {
+    /// Replay the object from the start.
+    pub fn new(obj: Arc<PmemObject>) -> Self {
+        WalReader { obj, pos: 0 }
+    }
+
+    /// Byte offset just past the last valid record returned so far — the
+    /// position a writer should resume appending at after recovery.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl Iterator for WalReader {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        if self.pos + HEADER > self.obj.len() {
+            return None;
+        }
+        let hdr = self.obj.read_vec(self.pos, HEADER as usize);
+        let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap()) as u64;
+        let crc = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        if len == 0 || self.pos + HEADER + len > self.obj.len() {
+            return None;
+        }
+        let payload = self.obj.read_vec(self.pos + HEADER, len as usize);
+        if crc32c(&payload) != crc {
+            return None; // torn / corrupt tail ends replay
+        }
+        self.pos += HEADER + len;
+        Some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachekv_cache::{CacheConfig, Hierarchy};
+    use cachekv_pmem::{PersistDomain, PmemConfig, PmemDevice};
+
+    fn obj(domain: PersistDomain) -> Arc<PmemObject> {
+        let dev = Arc::new(PmemDevice::new(PmemConfig::small().with_domain(domain)));
+        let hier = Arc::new(Hierarchy::new(dev, CacheConfig::small()));
+        Arc::new(PmemObject::create(hier, 0, 64 << 10))
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let o = obj(PersistDomain::Eadr);
+        let w = WalWriter::new(o.clone());
+        w.append(b"one");
+        w.append(b"two");
+        w.append(b"three");
+        let recs: Vec<Vec<u8>> = WalReader::new(o).collect();
+        assert_eq!(recs, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+    }
+
+    #[test]
+    fn replay_survives_adr_power_failure() {
+        let o = obj(PersistDomain::Adr);
+        let w = WalWriter::new(o.clone());
+        w.append(b"committed");
+        o.hierarchy().power_fail();
+        // Reopen at the same length (length itself would come from scanning;
+        // here the capacity-bounded scan model is the object length).
+        let reopened = Arc::new(PmemObject::open(o.hierarchy().clone(), o.base(), o.capacity(), o.len()));
+        let recs: Vec<Vec<u8>> = WalReader::new(reopened).collect();
+        assert_eq!(recs, vec![b"committed".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_tail_ends_replay() {
+        let o = obj(PersistDomain::Eadr);
+        let w = WalWriter::new(o.clone());
+        w.append(b"good");
+        let second = w.append(b"will-be-torn");
+        // Corrupt one payload byte of the second record.
+        o.hierarchy().store(o.base() + second + 8, &[0xFF]);
+        let recs: Vec<Vec<u8>> = WalReader::new(o).collect();
+        assert_eq!(recs, vec![b"good".to_vec()], "replay stops at the torn record");
+    }
+
+    #[test]
+    fn empty_log_replays_nothing() {
+        let o = obj(PersistDomain::Eadr);
+        assert_eq!(WalReader::new(o).count(), 0);
+    }
+
+    #[test]
+    fn large_records_roundtrip() {
+        let o = obj(PersistDomain::Eadr);
+        let w = WalWriter::new(o.clone());
+        let big: Vec<u8> = (0..10_000u32).map(|i| (i % 255) as u8).collect();
+        w.append(&big);
+        let recs: Vec<Vec<u8>> = WalReader::new(o).collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0], big);
+    }
+}

@@ -1,0 +1,77 @@
+//! LevelDB's `db_bench` operations, the paper's primary microbenchmark.
+
+use crate::dist::{KeyDist, Sequential, Uniform};
+
+/// The four `db_bench` modes the paper sweeps (Exp#1-#3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbBench {
+    /// Sequential-key inserts.
+    FillSeq,
+    /// Uniform-random-key inserts.
+    FillRandom,
+    /// Sequential-key point reads.
+    ReadSeq,
+    /// Uniform-random-key point reads.
+    ReadRandom,
+}
+
+impl DbBench {
+    /// Display name (db_bench's spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DbBench::FillSeq => "fillseq",
+            DbBench::FillRandom => "fillrandom",
+            DbBench::ReadSeq => "readseq",
+            DbBench::ReadRandom => "readrandom",
+        }
+    }
+
+    /// Whether this mode writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, DbBench::FillSeq | DbBench::FillRandom)
+    }
+
+    /// Whether it needs a pre-filled store.
+    pub fn needs_fill(&self) -> bool {
+        !self.is_write()
+    }
+
+    /// Key-id source for one thread: `n` is the key-space size; writers
+    /// partition the space so threads never collide on unwritten keys.
+    pub fn dist(&self, n: u64, thread: u64, threads: u64) -> Box<dyn KeyDist> {
+        match self {
+            DbBench::FillSeq | DbBench::ReadSeq => {
+                // Disjoint contiguous stripes per thread.
+                let per = n / threads.max(1);
+                Box::new(Sequential::new(thread * per, n))
+            }
+            DbBench::FillRandom | DbBench::ReadRandom => Box::new(Uniform::new(n, 0x5EED + thread)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_db_bench() {
+        assert_eq!(DbBench::FillSeq.name(), "fillseq");
+        assert_eq!(DbBench::ReadRandom.name(), "readrandom");
+    }
+
+    #[test]
+    fn seq_threads_get_disjoint_stripes() {
+        let mut a = DbBench::FillSeq.dist(100, 0, 2);
+        let mut b = DbBench::FillSeq.dist(100, 1, 2);
+        assert_eq!(a.next_id(), 0);
+        assert_eq!(b.next_id(), 50);
+    }
+
+    #[test]
+    fn write_read_classification() {
+        assert!(DbBench::FillRandom.is_write());
+        assert!(!DbBench::ReadSeq.is_write());
+        assert!(DbBench::ReadRandom.needs_fill());
+    }
+}

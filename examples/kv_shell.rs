@@ -1,0 +1,105 @@
+//! An interactive shell over CacheKV on the simulated eADR platform.
+//!
+//! ```sh
+//! cargo run --release --example kv_shell
+//! ```
+//!
+//! Commands:
+//! ```text
+//! put <key> <value>    insert or overwrite
+//! get <key>            point lookup
+//! del <key>            delete
+//! stats                device counters + memory-component state
+//! crash                inject a power failure and recover
+//! help                 this text
+//! quit                 exit
+//! ```
+
+use cachekv::{CacheKv, CacheKvConfig};
+use cachekv_cache::{CacheConfig, Hierarchy};
+use cachekv_lsm::KvStore;
+use cachekv_pmem::{PmemConfig, PmemDevice};
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+fn main() {
+    let dev = Arc::new(PmemDevice::new(PmemConfig::paper_scaled()));
+    let hier = Arc::new(Hierarchy::new(dev, CacheConfig::paper()));
+    let mut db = CacheKv::create(hier.clone(), CacheKvConfig::default());
+    println!("CacheKV shell — simulated eADR platform. Type `help` for commands.");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("cachekv> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            None => {}
+            Some("put") => match (parts.next(), parts.next()) {
+                (Some(k), Some(v)) => match db.put(k.as_bytes(), v.as_bytes()) {
+                    Ok(()) => println!("ok"),
+                    Err(e) => println!("error: {e}"),
+                },
+                _ => println!("usage: put <key> <value>"),
+            },
+            Some("get") => match parts.next() {
+                Some(k) => match db.get(k.as_bytes()) {
+                    Ok(Some(v)) => println!("{}", String::from_utf8_lossy(&v)),
+                    Ok(None) => println!("(nil)"),
+                    Err(e) => println!("error: {e}"),
+                },
+                None => println!("usage: get <key>"),
+            },
+            Some("del") => match parts.next() {
+                Some(k) => match db.delete(k.as_bytes()) {
+                    Ok(()) => println!("ok"),
+                    Err(e) => println!("error: {e}"),
+                },
+                None => println!("usage: del <key>"),
+            },
+            Some("stats") => {
+                let s = hier.pmem_stats();
+                let (sealing, pending, global_keys, flushed) = db.memory_stats();
+                println!(
+                    "device : {} cacheline writes, hit ratio {:.1}%, write amp {:.2}x",
+                    s.cpu_writes,
+                    s.write_hit_ratio() * 100.0,
+                    s.write_amplification()
+                );
+                println!(
+                    "memory : {sealing} sealing, {pending} pending flushed, {global_keys} global keys, {flushed} flushed bytes"
+                );
+                println!(
+                    "pool   : {} slots ({} free)",
+                    db.pool().slot_count(),
+                    db.pool().free_slots()
+                );
+                println!("levels : {:?} tables", db.storage().level_tables());
+            }
+            Some("crash") => {
+                drop(db);
+                hier.power_fail();
+                match CacheKv::recover(hier.clone(), CacheKvConfig::default()) {
+                    Ok(recovered) => {
+                        db = recovered;
+                        println!("power failure injected; recovery complete");
+                    }
+                    Err(e) => {
+                        println!("recovery failed: {e}");
+                        return;
+                    }
+                }
+            }
+            Some("help") => println!(
+                "put <k> <v> | get <k> | del <k> | stats | crash | quit"
+            ),
+            Some("quit") | Some("exit") => break,
+            Some(other) => println!("unknown command: {other} (try `help`)"),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! A write-dominated social-feed scenario (the workload class the paper's
+//! introduction motivates: small values, bursty appends, recent reads).
+//!
+//! Simulates a fan-out-on-write activity feed: every "post" writes one
+//! event per follower, and readers poll their most recent feed entries
+//! (a Latest-skewed read pattern). Runs the same scenario on CacheKV and
+//! on the NoveLSM baseline and reports throughput side by side.
+//!
+//! ```sh
+//! cargo run --release --example social_feed
+//! ```
+
+use cachekv::{CacheKv, CacheKvConfig};
+use cachekv_baselines::{BaselineOptions, NoveLsm};
+use cachekv_cache::{CacheConfig, Hierarchy};
+use cachekv_lsm::{KvStore, StorageConfig};
+use cachekv_pmem::{Clock, ClockMode, PmemConfig, PmemDevice};
+use cachekv_workloads::Latest;
+use cachekv_workloads::KeyDist;
+use std::sync::Arc;
+use std::time::Instant;
+
+const USERS: u64 = 200;
+const POSTS: u64 = 2_000;
+const FANOUT: u64 = 12;
+const POLLS_PER_POST: u64 = 3;
+
+fn feed_key(user: u64, seq: u64) -> Vec<u8> {
+    format!("feed:{user:06}:{seq:010}").into_bytes()
+}
+
+fn run_scenario(store: &Arc<dyn KvStore>) -> (f64, u64) {
+    let mut feed_len = vec![0u64; USERS as usize];
+    let mut total_events = 0u64;
+    let mut recency = Latest::new(1, 42);
+    let t0 = Instant::now();
+    for post in 0..POSTS {
+        let author = post % USERS;
+        // Fan-out-on-write: deliver the event to FANOUT followers.
+        for f in 1..=FANOUT {
+            let follower = (author + f * 7) % USERS;
+            let seq = feed_len[follower as usize];
+            feed_len[follower as usize] += 1;
+            let event = format!("{{\"author\":{author},\"post\":{post},\"text\":\"hello world #{post}\"}}");
+            store.put(&feed_key(follower, seq), event.as_bytes()).unwrap();
+            total_events += 1;
+        }
+        // Followers poll their freshest entries (Latest-skewed).
+        for _ in 0..POLLS_PER_POST {
+            let reader = (post * 31) % USERS;
+            let len = feed_len[reader as usize];
+            if len == 0 {
+                continue;
+            }
+            recency.grow(len);
+            let seq = len - 1 - recency.next_id().min(len - 1);
+            let got = store.get(&feed_key(reader, seq)).unwrap();
+            assert!(got.is_some(), "feed entry must exist");
+            total_events += 1;
+        }
+    }
+    (t0.elapsed().as_secs_f64(), total_events)
+}
+
+fn main() {
+    println!(
+        "social feed: {POSTS} posts x {FANOUT} followers fan-out + {POLLS_PER_POST} polls/post\n"
+    );
+    for which in ["CacheKV", "NoveLSM"] {
+        let clock = Arc::new(Clock::new(ClockMode::Spin));
+        let dev = Arc::new(PmemDevice::with_clock(PmemConfig::paper_scaled(), clock));
+        let hier = Arc::new(Hierarchy::new(dev, CacheConfig::paper()));
+        let store: Arc<dyn KvStore> = match which {
+            "CacheKV" => Arc::new(CacheKv::create(hier.clone(), CacheKvConfig::default())),
+            _ => Arc::new(NoveLsm::new(
+                hier.clone(),
+                BaselineOptions::vanilla(),
+                StorageConfig::default(),
+            )),
+        };
+        let (secs, events) = run_scenario(&store);
+        let stats = hier.pmem_stats();
+        println!(
+            "{which:>8}: {events} ops in {secs:.2}s ({:.1} Kops/s) — \
+             media traffic {:.1} MiB, write amplification {:.2}x",
+            events as f64 / secs / 1e3,
+            stats.media_write_bytes as f64 / (1 << 20) as f64,
+            stats.write_amplification(),
+        );
+    }
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate: re-exports of the CacheKV reproduction workspace.
+pub use cachekv::*;

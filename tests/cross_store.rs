@@ -1,0 +1,128 @@
+//! Cross-crate integration: every store gets the same deterministic
+//! workload and must agree on every key's final value.
+
+use cachekv::{CacheKv, CacheKvConfig, Techniques};
+use cachekv_baselines::{BaselineOptions, NoveLsm, SlmDb};
+use cachekv_cache::{CacheConfig, Hierarchy};
+use cachekv_lsm::{KvStore, LsmConfig, LsmTree, StorageConfig};
+use cachekv_pmem::{LatencyConfig, PmemConfig, PmemDevice};
+use rand::prelude::*;
+use std::sync::Arc;
+
+fn hier() -> Arc<Hierarchy> {
+    let dev = Arc::new(PmemDevice::new(
+        PmemConfig::paper_scaled().with_latency(LatencyConfig::zero()),
+    ));
+    Arc::new(Hierarchy::new(dev, CacheConfig::paper()))
+}
+
+fn all_stores() -> Vec<Arc<dyn KvStore>> {
+    let storage = StorageConfig::test_small;
+    vec![
+        Arc::new(LsmTree::create(hier(), LsmConfig { memtable_bytes: 16 << 10, storage: storage() })),
+        Arc::new(CacheKv::create(hier(), CacheKvConfig::test_small())),
+        Arc::new(CacheKv::create(
+            hier(),
+            CacheKvConfig::test_small().with_techniques(Techniques::pcsm()),
+        )),
+        Arc::new(CacheKv::create(
+            hier(),
+            CacheKvConfig::test_small().with_techniques(Techniques::pcsm_liu()),
+        )),
+        Arc::new(NoveLsm::new(hier(), BaselineOptions::vanilla().with_memtable_bytes(32 << 10), storage())),
+        Arc::new(NoveLsm::new(hier(), BaselineOptions::without_flush().with_memtable_bytes(32 << 10), storage())),
+        Arc::new(NoveLsm::new(
+            hier(),
+            BaselineOptions::cache().with_memtable_bytes(32 << 10).with_segment_bytes(16 << 10),
+            storage(),
+        )),
+        Arc::new(SlmDb::new(hier(), BaselineOptions::vanilla().with_memtable_bytes(32 << 10))),
+        Arc::new(SlmDb::new(hier(), BaselineOptions::without_flush().with_memtable_bytes(32 << 10))),
+        Arc::new(SlmDb::new(
+            hier(),
+            BaselineOptions::cache().with_memtable_bytes(32 << 10).with_segment_bytes(16 << 10),
+        )),
+    ]
+}
+
+/// A deterministic mixed workload: overwrites, deletes, re-inserts.
+fn workload(seed: u64, n: usize) -> Vec<(u8, u16, u8)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let op = if rng.gen_bool(0.8) { 0 } else { 1 };
+            (op, rng.gen_range(0..400u16), rng.gen::<u8>())
+        })
+        .collect()
+}
+
+#[test]
+fn all_stores_agree_on_final_state() {
+    let ops = workload(0xC0FFEE, 5_000);
+    let stores = all_stores();
+    // Apply the same ops to every store.
+    for store in &stores {
+        for &(op, k, v) in &ops {
+            let key = format!("key{k:05}");
+            if op == 0 {
+                store.put(key.as_bytes(), &[v; 40]).unwrap();
+            } else {
+                store.delete(key.as_bytes()).unwrap();
+            }
+        }
+        store.quiesce();
+    }
+    // Every store must agree with the first on every key.
+    let reference = &stores[0];
+    for k in 0..400u16 {
+        let key = format!("key{k:05}");
+        let expect = reference.get(key.as_bytes()).unwrap();
+        for store in &stores[1..] {
+            let got = store.get(key.as_bytes()).unwrap();
+            assert_eq!(got, expect, "{} disagrees with {} on {key}", store.name(), reference.name());
+        }
+    }
+}
+
+#[test]
+fn sustained_overwrite_churn_stays_consistent() {
+    // Hammers a small key set so every store's compaction/GC machinery runs.
+    let stores = all_stores();
+    for store in &stores {
+        for round in 0..20u32 {
+            for k in 0..150u16 {
+                let key = format!("hot{k:04}");
+                store.put(key.as_bytes(), format!("round-{round}").as_bytes()).unwrap();
+            }
+        }
+        store.quiesce();
+        for k in 0..150u16 {
+            let key = format!("hot{k:04}");
+            assert_eq!(
+                store.get(key.as_bytes()).unwrap(),
+                Some(b"round-19".to_vec()),
+                "{} lost an overwrite on {key}",
+                store.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_delete_reinsert_cycles() {
+    let stores = all_stores();
+    for store in &stores {
+        for k in 0..100u16 {
+            let key = format!("cyc{k:04}");
+            store.put(key.as_bytes(), b"v1").unwrap();
+            store.delete(key.as_bytes()).unwrap();
+            store.put(key.as_bytes(), b"v2").unwrap();
+            store.delete(key.as_bytes()).unwrap();
+        }
+        store.quiesce();
+        for k in 0..100u16 {
+            let key = format!("cyc{k:04}");
+            assert_eq!(store.get(key.as_bytes()).unwrap(), None, "{}: {key} should be deleted", store.name());
+        }
+    }
+}

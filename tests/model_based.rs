@@ -1,0 +1,148 @@
+//! Property-based model checking: every store in the repository must match
+//! a `BTreeMap` reference model under arbitrary put/delete/get sequences —
+//! including ones that force MemTable rotations and compactions.
+
+use cachekv::{CacheKv, CacheKvConfig};
+use cachekv_baselines::{BaselineOptions, NoveLsm, SlmDb};
+use cachekv_cache::{CacheConfig, Hierarchy};
+use cachekv_lsm::{KvStore, LsmConfig, LsmTree, StorageConfig};
+use cachekv_pmem::{LatencyConfig, PmemConfig, PmemDevice};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Get(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u16..300, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        1 => (0u16..300).prop_map(Op::Delete),
+        2 => (0u16..300).prop_map(Op::Get),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("key{k:05}").into_bytes()
+}
+
+fn value(v: u8, len: usize) -> Vec<u8> {
+    vec![v; len]
+}
+
+fn hier() -> Arc<Hierarchy> {
+    let dev = Arc::new(PmemDevice::new(
+        PmemConfig::paper_scaled().with_latency(LatencyConfig::zero()),
+    ));
+    Arc::new(Hierarchy::new(dev, CacheConfig::paper()))
+}
+
+fn check_against_model(store: &dyn KvStore, ops: &[Op], vlen: usize) {
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                store.put(&key(*k), &value(*v, vlen)).unwrap();
+                model.insert(key(*k), value(*v, vlen));
+            }
+            Op::Delete(k) => {
+                store.delete(&key(*k)).unwrap();
+                model.remove(&key(*k));
+            }
+            Op::Get(k) => {
+                let got = store.get(&key(*k)).unwrap();
+                assert_eq!(got, model.get(&key(*k)).cloned(), "{}: key {k}", store.name());
+            }
+        }
+    }
+    // Final full sweep.
+    store.quiesce();
+    for k in 0u16..300 {
+        let got = store.get(&key(k)).unwrap();
+        assert_eq!(got, model.get(&key(k)).cloned(), "{}: final key {k}", store.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cachekv_matches_model(ops in prop::collection::vec(op_strategy(), 1..800)) {
+        // Tiny sub-MemTables: rotations, flushes, and L0 dumps all trigger.
+        let cfg = CacheKvConfig {
+            pool_bytes: 64 << 10,
+            subtable_bytes: 8 << 10,
+            min_subtable_bytes: 4 << 10,
+            dump_threshold_bytes: 32 << 10,
+            ..CacheKvConfig::test_small()
+        };
+        let db = CacheKv::create(hier(), cfg);
+        check_against_model(&db, &ops, 48);
+    }
+
+    #[test]
+    fn lsm_tree_matches_model(ops in prop::collection::vec(op_strategy(), 1..800)) {
+        let db = LsmTree::create(hier(), LsmConfig { memtable_bytes: 4 << 10, storage: StorageConfig::test_small() });
+        check_against_model(&db, &ops, 48);
+    }
+
+    #[test]
+    fn novelsm_matches_model(ops in prop::collection::vec(op_strategy(), 1..500)) {
+        let db = NoveLsm::new(
+            hier(),
+            BaselineOptions::vanilla().with_memtable_bytes(8 << 10),
+            StorageConfig::test_small(),
+        );
+        check_against_model(&db, &ops, 48);
+    }
+
+    #[test]
+    fn slmdb_matches_model(ops in prop::collection::vec(op_strategy(), 1..500)) {
+        let db = SlmDb::new(hier(), BaselineOptions::vanilla().with_memtable_bytes(8 << 10));
+        check_against_model(&db, &ops, 48);
+    }
+
+    #[test]
+    fn cachekv_crash_recovery_matches_model(
+        ops in prop::collection::vec(op_strategy(), 1..400),
+        crash_at in 0usize..400,
+    ) {
+        let h = hier();
+        let cfg = CacheKvConfig {
+            pool_bytes: 64 << 10,
+            subtable_bytes: 8 << 10,
+            min_subtable_bytes: 4 << 10,
+            dump_threshold_bytes: 32 << 10,
+            ..CacheKvConfig::test_small()
+        };
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let crash_at = crash_at.min(ops.len());
+        {
+            let db = CacheKv::create(h.clone(), cfg.clone());
+            for op in &ops[..crash_at] {
+                match op {
+                    Op::Put(k, v) => {
+                        db.put(&key(*k), &value(*v, 48)).unwrap();
+                        model.insert(key(*k), value(*v, 48));
+                    }
+                    Op::Delete(k) => {
+                        db.delete(&key(*k)).unwrap();
+                        model.remove(&key(*k));
+                    }
+                    Op::Get(_) => {}
+                }
+            }
+            db.quiesce();
+        }
+        h.power_fail();
+        let db = CacheKv::recover(h, cfg).unwrap();
+        for k in 0u16..300 {
+            let got = db.get(&key(k)).unwrap();
+            prop_assert_eq!(got, model.get(&key(k)).cloned(), "post-crash key {}", k);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Regression tests for the paper's headline *shape* claims, measured in
+//! deterministic simulated device time (Counting clock) rather than wall
+//! time, so they hold on any host.
+//!
+//! These are the invariants EXPERIMENTS.md reports; if a refactor breaks
+//! one, the reproduction has regressed even if all functional tests pass.
+
+use cachekv::{CacheKv, CacheKvConfig};
+use cachekv_baselines::{BaselineOptions, NoveLsm, SlmDb};
+use cachekv_cache::{CacheConfig, Hierarchy};
+use cachekv_lsm::{KvStore, StorageConfig};
+use cachekv_pmem::{PmemConfig, PmemDevice};
+use std::sync::Arc;
+
+const OPS: u32 = 8_000;
+
+/// Fresh hierarchy with a Counting clock (default) and a given LLC size.
+fn hier(cache_bytes: usize) -> Arc<Hierarchy> {
+    let dev = Arc::new(PmemDevice::new(PmemConfig::paper_scaled()));
+    Arc::new(Hierarchy::new(dev, CacheConfig::paper().with_capacity(cache_bytes)))
+}
+
+/// Run `OPS` random-ish 64 B writes and return charged device nanoseconds.
+fn charged_write_ns(store: &dyn KvStore, h: &Arc<Hierarchy>) -> u64 {
+    let clock = h.device().clock();
+    clock.reset();
+    for i in 0..OPS {
+        let key = format!("key{:012}", (i as u64).wrapping_mul(0x9E37) % 100_000);
+        store.put(key.as_bytes(), &[7u8; 64]).unwrap();
+    }
+    store.quiesce();
+    clock.total_ns()
+}
+
+#[test]
+fn claim_ob1_removing_flushes_tanks_hit_ratio_and_amplifies() {
+    // 1 MiB LLC so the w/o-flush variant evicts within this scaled run.
+    let run = |opts: BaselineOptions| {
+        let h = hier(1 << 20);
+        let db = NoveLsm::new(h.clone(), opts.with_memtable_bytes(8 << 20), StorageConfig::default());
+        for i in 0..OPS * 2 {
+            let key = format!("key{:012}", (i as u64).wrapping_mul(7919) % 1_000_000);
+            db.put(key.as_bytes(), &[7u8; 64]).unwrap();
+        }
+        db.quiesce();
+        h.pmem_stats()
+    };
+    let raw = run(BaselineOptions::vanilla());
+    let noflush = run(BaselineOptions::without_flush());
+    assert!(
+        noflush.write_hit_ratio() < raw.write_hit_ratio() * 0.6,
+        "w/o-flush hit ratio {:.2} should be well under raw {:.2}",
+        noflush.write_hit_ratio(),
+        raw.write_hit_ratio()
+    );
+    assert!(
+        noflush.write_amplification() > raw.write_amplification() * 1.5,
+        "w/o-flush amp {:.2} should exceed raw {:.2}",
+        noflush.write_amplification(),
+        raw.write_amplification()
+    );
+}
+
+#[test]
+fn claim_exp1_cachekv_write_cost_beats_baselines() {
+    // Charged device time per op: CacheKV ≪ NoveLSM ≪ practical-SLM-DB.
+    let h1 = hier(36 << 20);
+    let cachekv = CacheKv::create(h1.clone(), CacheKvConfig { num_cores: 4, ..CacheKvConfig::default() });
+    let t_cachekv = charged_write_ns(&cachekv, &h1);
+
+    let h2 = hier(36 << 20);
+    let novelsm = NoveLsm::new(h2.clone(), BaselineOptions::vanilla(), StorageConfig::default());
+    let t_novelsm = charged_write_ns(&novelsm, &h2);
+
+    let h3 = hier(36 << 20);
+    let slmdb = SlmDb::new(h3.clone(), BaselineOptions::vanilla().with_memtable_bytes(512 << 10));
+    let t_slmdb = charged_write_ns(&slmdb, &h3);
+
+    assert!(
+        t_novelsm > t_cachekv * 3,
+        "NoveLSM device time {t_novelsm} should be >3x CacheKV's {t_cachekv}"
+    );
+    assert!(
+        t_slmdb > t_cachekv * 3,
+        "SLM-DB device time {t_slmdb} should be >3x CacheKV's {t_cachekv}"
+    );
+}
+
+#[test]
+fn claim_cf_copy_flush_avoids_write_amplification() {
+    // After a pure-write run, CacheKV's device traffic is streaming-shaped:
+    // write amplification stays near 1 even for 64 B values.
+    let h = hier(36 << 20);
+    // Small pool so the run cycles through many copy-based flushes.
+    let db = CacheKv::create(
+        h.clone(),
+        CacheKvConfig { num_cores: 4, ..CacheKvConfig::default() }.with_pool(1 << 20, 256 << 10),
+    );
+    h.reset_stats();
+    for i in 0..OPS * 2 {
+        db.put(format!("key{i:012}").as_bytes(), &[7u8; 64]).unwrap();
+    }
+    db.quiesce();
+    let s = h.pmem_stats();
+    assert!(
+        s.write_amplification() < 1.5,
+        "CacheKV write amplification {:.2} should stay near 1",
+        s.write_amplification()
+    );
+    assert!(
+        s.write_hit_ratio() > 0.5,
+        "CacheKV hit ratio {:.2} should reflect streaming flushes",
+        s.write_hit_ratio()
+    );
+}
+
+#[test]
+fn claim_exp2_reads_are_competitive() {
+    // Charged device read time per op for CacheKV must be within 2x of
+    // NoveLSM's (the paper reports -3.7%; we only pin the "no collapse"
+    // claim, as index costs here are DRAM-side and uncharged).
+    let fill = |store: &dyn KvStore| {
+        for i in 0..OPS {
+            store.put(format!("key{i:012}").as_bytes(), &[7u8; 64]).unwrap();
+        }
+        store.quiesce();
+    };
+    let read_ns = |store: &dyn KvStore, h: &Arc<Hierarchy>| {
+        let clock = h.device().clock();
+        clock.reset();
+        for i in (0..OPS).step_by(3) {
+            let _ = store.get(format!("key{i:012}").as_bytes()).unwrap();
+        }
+        clock.total_ns()
+    };
+    let h1 = hier(36 << 20);
+    let cachekv = CacheKv::create(h1.clone(), CacheKvConfig { num_cores: 4, ..CacheKvConfig::default() });
+    fill(&cachekv);
+    let r_cachekv = read_ns(&cachekv, &h1);
+
+    let h2 = hier(36 << 20);
+    let novelsm = NoveLsm::new(h2.clone(), BaselineOptions::vanilla(), StorageConfig::default());
+    fill(&novelsm);
+    let r_novelsm = read_ns(&novelsm, &h2);
+
+    assert!(
+        r_cachekv < r_novelsm * 2,
+        "CacheKV read device time {r_cachekv} should be within 2x NoveLSM's {r_novelsm}"
+    );
+}
+
+#[test]
+fn claim_cache_variants_improve_hit_ratio_over_noflush() {
+    // Ob2's fix: lifting the MemTable into CAT-locked segments restores
+    // most of the hit ratio that dropping flushes lost.
+    let run = |opts: BaselineOptions| {
+        let h = hier(1 << 20);
+        let db = NoveLsm::new(h.clone(), opts, StorageConfig::default());
+        for i in 0..OPS * 2 {
+            let key = format!("key{:012}", (i as u64).wrapping_mul(7919) % 1_000_000);
+            db.put(key.as_bytes(), &[7u8; 64]).unwrap();
+        }
+        db.quiesce();
+        h.pmem_stats().write_hit_ratio()
+    };
+    let noflush = run(BaselineOptions::without_flush().with_memtable_bytes(8 << 20));
+    let cache = run(
+        BaselineOptions::cache().with_memtable_bytes(256 << 10).with_segment_bytes(256 << 10),
+    );
+    assert!(
+        cache > noflush + 0.2,
+        "cache variant hit ratio {cache:.2} should clearly beat w/o-flush {noflush:.2}"
+    );
+}
