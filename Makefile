@@ -1,0 +1,28 @@
+# Development entry points. `make verify` is the pre-merge gate.
+
+CARGO ?= cargo
+
+.PHONY: verify fmt clippy build test sweep bench
+
+verify: fmt clippy test sweep
+
+fmt:
+	$(CARGO) fmt --all --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release
+
+# Tier-1: the whole workspace must build in release and every test pass.
+test: build
+	$(CARGO) test -q
+
+# Strided crash-point sweep: fault injection at many persistence events,
+# recovery verified differentially (see DESIGN.md, "Crash testing").
+sweep:
+	$(CARGO) test -q --test crash_sweep
+
+bench:
+	$(CARGO) bench --workspace

@@ -38,14 +38,22 @@ struct Node {
     is_leaf: bool,
     count: usize,
     next_leaf: u32,
-    keys: Vec<Vec<u8>>,        // count entries
-    payload: Vec<[u8; VAL]>,   // leaf: count values
-    children: Vec<u32>,        // interior: count+1 children
+    keys: Vec<Vec<u8>>,      // count entries
+    payload: Vec<[u8; VAL]>, // leaf: count values
+    children: Vec<u32>,      // interior: count+1 children
 }
 
 impl Node {
     fn leaf(id: u32) -> Self {
-        Node { id, is_leaf: true, count: 0, next_leaf: 0, keys: vec![], payload: vec![], children: vec![] }
+        Node {
+            id,
+            is_leaf: true,
+            count: 0,
+            next_leaf: 0,
+            keys: vec![],
+            payload: vec![],
+            children: vec![],
+        }
     }
 }
 
@@ -63,7 +71,13 @@ impl BpTree {
     pub fn create(space: PmemSpace) -> Self {
         let max_nodes = (space.capacity() / NODE) as u32;
         assert!(max_nodes >= 4, "B+-tree region too small");
-        let t = BpTree { space, root: 1, next_free: 2, max_nodes, len: 0 };
+        let t = BpTree {
+            space,
+            root: 1,
+            next_free: 2,
+            max_nodes,
+            len: 0,
+        };
         let root = Node::leaf(1);
         t.write_node(&root);
         t.write_meta();
@@ -123,7 +137,15 @@ impl BpTree {
                 children.push(u32::from_le_bytes(raw[s..s + 4].try_into().unwrap()));
             }
         }
-        Node { id, is_leaf, count, next_leaf, keys, payload, children }
+        Node {
+            id,
+            is_leaf,
+            count,
+            next_leaf,
+            keys,
+            payload,
+            children,
+        }
     }
 
     fn write_node(&self, n: &Node) {
@@ -158,10 +180,13 @@ impl BpTree {
         let mut kslot = [0u8; KEY_SLOT];
         kslot[0] = key.len() as u8;
         kslot[1..1 + key.len()].copy_from_slice(key);
-        self.space.write(base + (KEYS_OFF + i * KEY_SLOT) as u64, &kslot);
-        self.space.persist(base + (KEYS_OFF + i * KEY_SLOT) as u64, KEY_SLOT);
+        self.space
+            .write(base + (KEYS_OFF + i * KEY_SLOT) as u64, &kslot);
+        self.space
+            .persist(base + (KEYS_OFF + i * KEY_SLOT) as u64, KEY_SLOT);
         self.space.write(base + (PAYLOAD_OFF + i * VAL) as u64, val);
-        self.space.persist(base + (PAYLOAD_OFF + i * VAL) as u64, VAL);
+        self.space
+            .persist(base + (PAYLOAD_OFF + i * VAL) as u64, VAL);
         // Publish by bumping the count last (crash-safe append).
         self.space.write(base + 1, &[(n.count + 1) as u8]);
         self.space.persist(base + 1, 1);
@@ -169,8 +194,10 @@ impl BpTree {
 
     fn overwrite_leaf_value(&self, n: &Node, slot: usize, val: &[u8; VAL]) {
         let base = n.id as u64 * NODE;
-        self.space.write(base + (PAYLOAD_OFF + slot * VAL) as u64, val);
-        self.space.persist(base + (PAYLOAD_OFF + slot * VAL) as u64, VAL);
+        self.space
+            .write(base + (PAYLOAD_OFF + slot * VAL) as u64, val);
+        self.space
+            .persist(base + (PAYLOAD_OFF + slot * VAL) as u64, VAL);
     }
 
     /// Find the leaf for `key`, recording the descent path `(node, child
@@ -241,7 +268,12 @@ impl BpTree {
     }
 
     /// Propagate a separator key up the recorded path.
-    fn insert_separator(&mut self, mut path: Vec<(Node, usize)>, mut sep: Vec<u8>, mut right_id: u32) -> Result<Option<[u8; VAL]>> {
+    fn insert_separator(
+        &mut self,
+        mut path: Vec<(Node, usize)>,
+        mut sep: Vec<u8>,
+        mut right_id: u32,
+    ) -> Result<Option<[u8; VAL]>> {
         loop {
             match path.pop() {
                 None => {
@@ -299,7 +331,9 @@ impl BpTree {
     /// Look up `key`.
     pub fn get(&self, key: &[u8]) -> Option<[u8; VAL]> {
         let (leaf, _) = self.descend(key);
-        (0..leaf.count).find(|&i| leaf.keys[i] == key).map(|i| leaf.payload[i])
+        (0..leaf.count)
+            .find(|&i| leaf.keys[i] == key)
+            .map(|i| leaf.payload[i])
     }
 
     /// All `(key, value)` pairs in ascending key order (tests and GC).
@@ -311,8 +345,12 @@ impl BpTree {
         }
         let mut out = Vec::with_capacity(self.len);
         loop {
-            let mut pairs: Vec<(Vec<u8>, [u8; VAL])> =
-                cur.keys.iter().cloned().zip(cur.payload.iter().copied()).collect();
+            let mut pairs: Vec<(Vec<u8>, [u8; VAL])> = cur
+                .keys
+                .iter()
+                .cloned()
+                .zip(cur.payload.iter().copied())
+                .collect();
             pairs.sort_by(|a, b| a.0.cmp(&b.0));
             out.extend(pairs);
             if cur.next_leaf == 0 {
@@ -372,7 +410,8 @@ mod tests {
         let mut t = tree(FlushMode::None);
         let n = 5_000u64;
         for i in 0..n {
-            t.insert(format!("user{:010}", i * 7 % n).as_bytes(), &val(i)).unwrap();
+            t.insert(format!("user{:010}", i * 7 % n).as_bytes(), &val(i))
+                .unwrap();
         }
         assert_eq!(t.len() as u64, n);
         for i in 0..n {
@@ -392,7 +431,10 @@ mod tests {
         keys.dedup();
         let scanned: Vec<Vec<u8>> = t.scan_all().into_iter().map(|(k, _)| k).collect();
         assert_eq!(scanned.len(), keys.len());
-        assert!(scanned.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        assert!(
+            scanned.windows(2).all(|w| w[0] < w[1]),
+            "strictly ascending"
+        );
     }
 
     #[test]

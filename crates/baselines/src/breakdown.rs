@@ -116,6 +116,9 @@ mod tests {
 
     #[test]
     fn empty_fractions_are_zero() {
-        assert_eq!(WriteBreakdown::default().snapshot().fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(
+            WriteBreakdown::default().snapshot().fractions(),
+            (0.0, 0.0, 0.0, 0.0)
+        );
     }
 }

@@ -68,12 +68,18 @@ impl BaselineOptions {
 
     /// `-w/o-flush`: drop the flush instructions, rely on eADR.
     pub fn without_flush() -> Self {
-        BaselineOptions { flush_mode: FlushMode::None, ..Self::vanilla() }
+        BaselineOptions {
+            flush_mode: FlushMode::None,
+            ..Self::vanilla()
+        }
     }
 
     /// `-cache`: lift the MemTable into CAT-locked cache segments.
     pub fn cache() -> Self {
-        BaselineOptions { cache_use: CacheUse::LockedSegments, ..Self::vanilla() }
+        BaselineOptions {
+            cache_use: CacheUse::LockedSegments,
+            ..Self::vanilla()
+        }
     }
 
     /// Scale the MemTable for small tests.

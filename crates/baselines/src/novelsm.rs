@@ -74,28 +74,56 @@ impl NoveLsm {
 
     /// Vanilla NoveLSM: PMem MemTable, `clflush` per write.
     pub fn vanilla(hier: Arc<Hierarchy>, memtable_bytes: u64, storage: StorageConfig) -> Self {
-        Self::new(hier, BaselineOptions::vanilla().with_memtable_bytes(memtable_bytes), storage)
+        Self::new(
+            hier,
+            BaselineOptions::vanilla().with_memtable_bytes(memtable_bytes),
+            storage,
+        )
     }
 
     /// `NoveLSM-w/o-flush`.
-    pub fn without_flush(hier: Arc<Hierarchy>, memtable_bytes: u64, storage: StorageConfig) -> Self {
-        Self::new(hier, BaselineOptions::without_flush().with_memtable_bytes(memtable_bytes), storage)
+    pub fn without_flush(
+        hier: Arc<Hierarchy>,
+        memtable_bytes: u64,
+        storage: StorageConfig,
+    ) -> Self {
+        Self::new(
+            hier,
+            BaselineOptions::without_flush().with_memtable_bytes(memtable_bytes),
+            storage,
+        )
     }
 
     /// `NoveLSM-cache`.
     pub fn cache(hier: Arc<Hierarchy>, memtable_bytes: u64, storage: StorageConfig) -> Self {
-        Self::new(hier, BaselineOptions::cache().with_memtable_bytes(memtable_bytes), storage)
+        Self::new(
+            hier,
+            BaselineOptions::cache().with_memtable_bytes(memtable_bytes),
+            storage,
+        )
     }
 
-    fn fresh_memtable(hier: &Arc<Hierarchy>, alloc: &Arc<PmemAllocator>, opts: &BaselineOptions) -> PmemMemTable {
+    fn fresh_memtable(
+        hier: &Arc<Hierarchy>,
+        alloc: &Arc<PmemAllocator>,
+        opts: &BaselineOptions,
+    ) -> PmemMemTable {
         // For the `-cache` variant the active unit is one segment; otherwise
         // the whole MemTable data region.
         let locked = opts.cache_use == CacheUse::LockedSegments;
-        let data_bytes = if locked { opts.segment_bytes.min(opts.memtable_bytes) } else { opts.memtable_bytes };
+        let data_bytes = if locked {
+            opts.segment_bytes.min(opts.memtable_bytes)
+        } else {
+            opts.memtable_bytes
+        };
         // Skiplist nodes are smaller than records; equal sizing is generous.
         let index_bytes = data_bytes.max(1 << 16) * 2;
-        let data = alloc.alloc(data_bytes).expect("NoveLSM memtable data region");
-        let index = alloc.alloc(index_bytes).expect("NoveLSM memtable index region");
+        let data = alloc
+            .alloc(data_bytes)
+            .expect("NoveLSM memtable data region");
+        let index = alloc
+            .alloc(index_bytes)
+            .expect("NoveLSM memtable index region");
         PmemMemTable::new(
             hier.clone(),
             (data, data_bytes),
@@ -220,7 +248,9 @@ mod tests {
             "noflush" => NoveLsm::without_flush(h, 64 << 10, cfg),
             "cache" => NoveLsm::new(
                 h,
-                BaselineOptions::cache().with_memtable_bytes(64 << 10).with_segment_bytes(16 << 10),
+                BaselineOptions::cache()
+                    .with_memtable_bytes(64 << 10)
+                    .with_segment_bytes(16 << 10),
                 cfg,
             ),
             _ => unreachable!(),
@@ -246,9 +276,16 @@ mod tests {
                 db.put(format!("key{i:06}").as_bytes(), &[3u8; 48]).unwrap();
             }
             db.quiesce();
-            assert!(db.storage().level_tables().iter().sum::<usize>() > 0, "{kind}: rotated");
+            assert!(
+                db.storage().level_tables().iter().sum::<usize>() > 0,
+                "{kind}: rotated"
+            );
             for i in (0..2000u32).step_by(137) {
-                assert_eq!(db.get(format!("key{i:06}").as_bytes()).unwrap(), Some(vec![3u8; 48]), "{kind}");
+                assert_eq!(
+                    db.get(format!("key{i:06}").as_bytes()).unwrap(),
+                    Some(vec![3u8; 48]),
+                    "{kind}"
+                );
             }
         }
     }
@@ -258,12 +295,19 @@ mod tests {
         let h1 = hier();
         let v = NoveLsm::vanilla(h1.clone(), 1 << 20, StorageConfig::test_small());
         v.put(b"a-key-000000000", &[9u8; 64]).unwrap();
-        assert!(h1.pmem_stats().cpu_writes > 0, "vanilla pushed lines to the device");
+        assert!(
+            h1.pmem_stats().cpu_writes > 0,
+            "vanilla pushed lines to the device"
+        );
 
         let h2 = hier();
         let n = NoveLsm::without_flush(h2.clone(), 1 << 20, StorageConfig::test_small());
         n.put(b"a-key-000000000", &[9u8; 64]).unwrap();
-        assert_eq!(h2.pmem_stats().cpu_writes, 0, "w/o-flush kept lines in cache");
+        assert_eq!(
+            h2.pmem_stats().cpu_writes,
+            0,
+            "w/o-flush kept lines in cache"
+        );
     }
 
     #[test]
@@ -295,9 +339,15 @@ mod tests {
         }
         db.quiesce();
         for t in 0..4u32 {
-            assert_eq!(db.get(format!("t{t}k00299").as_bytes()).unwrap(), Some(b"v".to_vec()));
+            assert_eq!(
+                db.get(format!("t{t}k00299").as_bytes()).unwrap(),
+                Some(b"v".to_vec())
+            );
         }
-        assert!(db.breakdown().snapshot().lock_wait_ns > 0, "contention measured");
+        assert!(
+            db.breakdown().snapshot().lock_wait_ns > 0,
+            "contention measured"
+        );
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! data region into a CAT-locked cache segment.
 
 use cachekv_cache::Hierarchy;
-use cachekv_lsm::kv::{decode_record_at, encode_record_into, meta_kind, record_len, Entry, EntryKind, Error, Result, RECORD_HDR};
+use cachekv_lsm::kv::{
+    decode_record_at, encode_record_into, meta_kind, record_len, Entry, EntryKind, Error, Result,
+    RECORD_HDR,
+};
 use cachekv_lsm::memtable::Lookup;
 use cachekv_lsm::{FlushMode, MemSpace, PmemSpace, SkipList};
 use std::sync::Arc;
@@ -146,7 +149,9 @@ impl PmemMemTable {
         if klen == 0 {
             return None;
         }
-        let body = self.hier.load_vec(self.data_base + off, record_len(klen, vlen));
+        let body = self
+            .hier
+            .load_vec(self.data_base + off, record_len(klen, vlen));
         decode_record_at(&body, 0)
     }
 
@@ -157,7 +162,11 @@ impl PmemMemTable {
             .map(|e| {
                 let off = u64::from_le_bytes(e.value[..8].try_into().unwrap());
                 let (rec, _) = self.read_record(off).expect("indexed record readable");
-                Entry { key: e.key, meta: e.meta, value: rec.value }
+                Entry {
+                    key: e.key,
+                    meta: e.meta,
+                    value: rec.value,
+                }
             })
             .collect()
     }
@@ -179,7 +188,10 @@ impl PmemMemTable {
 
     /// Regions backing this table: `(data, index)` as `(base, len)` pairs.
     pub fn regions(&self) -> ((u64, u64), (u64, u64)) {
-        ((self.data_base, self.data_cap), (self.index.space().base(), self.index.space().capacity()))
+        (
+            (self.data_base, self.data_cap),
+            (self.index.space().base(), self.index.space().capacity()),
+        )
     }
 }
 
@@ -213,7 +225,8 @@ mod tests {
     fn insert_get_roundtrip() {
         let h = hier();
         let mut t = table(&h, FlushMode::Clflush, false);
-        t.insert(b"alice", pack_meta(1, EntryKind::Put), b"in-pmem").unwrap();
+        t.insert(b"alice", pack_meta(1, EntryKind::Put), b"in-pmem")
+            .unwrap();
         assert_eq!(t.get(b"alice"), Lookup::Found(b"in-pmem".to_vec()));
         assert_eq!(t.get(b"bob"), Lookup::NotFound);
     }
@@ -223,7 +236,8 @@ mod tests {
         let h = hier();
         let mut t = table(&h, FlushMode::Clflush, false);
         t.insert(b"k", pack_meta(1, EntryKind::Put), b"v1").unwrap();
-        t.insert(b"k", pack_meta(2, EntryKind::Delete), b"").unwrap();
+        t.insert(b"k", pack_meta(2, EntryKind::Delete), b"")
+            .unwrap();
         assert_eq!(t.get(b"k"), Lookup::Tombstone);
         t.insert(b"k", pack_meta(3, EntryKind::Put), b"v3").unwrap();
         assert_eq!(t.get(b"k"), Lookup::Found(b"v3".to_vec()));
@@ -237,8 +251,15 @@ mod tests {
                 .with_latency(cachekv_pmem::LatencyConfig::zero()),
         ));
         let h = Arc::new(Hierarchy::new(dev, CacheConfig::small()));
-        let mut t = PmemMemTable::new(h.clone(), (0, 1 << 20), (1 << 20, 1 << 20), FlushMode::Clflush, false);
-        t.insert(b"durable", pack_meta(1, EntryKind::Put), b"yes").unwrap();
+        let mut t = PmemMemTable::new(
+            h.clone(),
+            (0, 1 << 20),
+            (1 << 20, 1 << 20),
+            FlushMode::Clflush,
+            false,
+        );
+        t.insert(b"durable", pack_meta(1, EntryKind::Put), b"yes")
+            .unwrap();
         h.power_fail();
         // The data log is readable straight from the media after the crash.
         let rec = h.load_vec(0, 64);
@@ -264,7 +285,13 @@ mod tests {
         let mut t = PmemMemTable::new(h, (0, 1024), (4096, 1 << 16), FlushMode::None, false);
         let mut filled = false;
         for i in 0..100u64 {
-            if t.insert(format!("k{i:03}").as_bytes(), pack_meta(i, EntryKind::Put), &[0u8; 48]).is_err() {
+            if t.insert(
+                format!("k{i:03}").as_bytes(),
+                pack_meta(i, EntryKind::Put),
+                &[0u8; 48],
+            )
+            .is_err()
+            {
                 filled = true;
                 break;
             }
@@ -276,14 +303,18 @@ mod tests {
     fn locked_segment_stays_cached_until_seal() {
         let h = hier();
         let mut t = table(&h, FlushMode::Clflush, true);
-        t.insert(b"key1", pack_meta(1, EntryKind::Put), &[9u8; 64]).unwrap();
+        t.insert(b"key1", pack_meta(1, EntryKind::Put), &[9u8; 64])
+            .unwrap();
         // Data region writes did not reach the device (pinned, no flush)...
         // though index writes did (clflush mode).
         assert!(!h.cat_regions().is_empty());
         let before = h.pmem_stats().cpu_writes;
         let entries = t.seal();
         assert_eq!(entries.len(), 1);
-        assert!(h.pmem_stats().cpu_writes > before, "seal flushed the segment");
+        assert!(
+            h.pmem_stats().cpu_writes > before,
+            "seal flushed the segment"
+        );
         assert!(h.cat_regions().is_empty(), "CAT region released");
     }
 

@@ -95,7 +95,14 @@ impl SlmDb {
             hier,
             alloc,
             table_opts: TableOptions::default(),
-            inner: Mutex::new(Inner { mt, mt_regions, index, tables: Vec::new(), next_table_id: 1, seq: 0 }),
+            inner: Mutex::new(Inner {
+                mt,
+                mt_regions,
+                index,
+                tables: Vec::new(),
+                next_table_id: 1,
+                seq: 0,
+            }),
             breakdown: WriteBreakdown::default(),
             name,
             gc_threshold: 0.5,
@@ -105,26 +112,53 @@ impl SlmDb {
 
     /// Vanilla SLM-DB.
     pub fn vanilla(hier: Arc<Hierarchy>, memtable_bytes: u64) -> Self {
-        Self::new(hier, BaselineOptions::vanilla().with_memtable_bytes(memtable_bytes))
+        Self::new(
+            hier,
+            BaselineOptions::vanilla().with_memtable_bytes(memtable_bytes),
+        )
     }
 
     /// `SLM-DB-w/o-flush`.
     pub fn without_flush(hier: Arc<Hierarchy>, memtable_bytes: u64) -> Self {
-        Self::new(hier, BaselineOptions::without_flush().with_memtable_bytes(memtable_bytes))
+        Self::new(
+            hier,
+            BaselineOptions::without_flush().with_memtable_bytes(memtable_bytes),
+        )
     }
 
     /// `SLM-DB-cache`.
     pub fn cache(hier: Arc<Hierarchy>, memtable_bytes: u64) -> Self {
-        Self::new(hier, BaselineOptions::cache().with_memtable_bytes(memtable_bytes))
+        Self::new(
+            hier,
+            BaselineOptions::cache().with_memtable_bytes(memtable_bytes),
+        )
     }
 
-    fn fresh_memtable(hier: &Arc<Hierarchy>, alloc: &Arc<PmemAllocator>, opts: &BaselineOptions) -> PmemMemTable {
+    fn fresh_memtable(
+        hier: &Arc<Hierarchy>,
+        alloc: &Arc<PmemAllocator>,
+        opts: &BaselineOptions,
+    ) -> PmemMemTable {
         let locked = opts.cache_use == CacheUse::LockedSegments;
-        let data_bytes = if locked { opts.segment_bytes.min(opts.memtable_bytes) } else { opts.memtable_bytes };
+        let data_bytes = if locked {
+            opts.segment_bytes.min(opts.memtable_bytes)
+        } else {
+            opts.memtable_bytes
+        };
         let index_bytes = data_bytes.max(1 << 16) * 2;
-        let data = alloc.alloc(data_bytes).expect("SLM-DB memtable data region");
-        let index = alloc.alloc(index_bytes).expect("SLM-DB memtable index region");
-        PmemMemTable::new(hier.clone(), (data, data_bytes), (index, index_bytes), opts.flush_mode, locked)
+        let data = alloc
+            .alloc(data_bytes)
+            .expect("SLM-DB memtable data region");
+        let index = alloc
+            .alloc(index_bytes)
+            .expect("SLM-DB memtable index region");
+        PmemMemTable::new(
+            hier.clone(),
+            (data, data_bytes),
+            (index, index_bytes),
+            opts.flush_mode,
+            locked,
+        )
     }
 
     /// Per-entry *record* offsets within a table encoded from `entries`
@@ -172,7 +206,10 @@ impl SlmDb {
                     Self::account_garbage(&mut inner.tables, &old);
                 }
             }
-            inner.tables.push(SlmTable { meta, garbage: own_garbage });
+            inner.tables.push(SlmTable {
+                meta,
+                garbage: own_garbage,
+            });
         }
         // Fresh MemTable; recycle the old regions.
         let ((db, dl), (ib, il)) = inner.mt_regions;
@@ -190,7 +227,10 @@ impl SlmDb {
         if flags & TOMBSTONE_FLAG != 0 || len == 0 {
             return;
         }
-        if let Some(t) = tables.iter_mut().find(|t| addr >= t.meta.base && addr < t.meta.base + t.meta.len) {
+        if let Some(t) = tables
+            .iter_mut()
+            .find(|t| addr >= t.meta.base && addr < t.meta.base + t.meta.len)
+        {
             t.garbage += len as u64;
         }
     }
@@ -229,7 +269,9 @@ impl SlmDb {
                 let offs = Self::record_offsets(&live);
                 for (e, off) in live.iter().zip(&offs) {
                     let addr = meta.base + off + RECORD_HDR as u64 + e.key.len() as u64;
-                    inner.index.insert(&e.key, &encode_loc(addr, e.value.len() as u32, 0))?;
+                    inner
+                        .index
+                        .insert(&e.key, &encode_loc(addr, e.value.len() as u32, 0))?;
                 }
                 inner.tables.insert(i, SlmTable { meta, garbage: 0 });
                 i += 1;
@@ -329,7 +371,9 @@ mod tests {
             "noflush" => SlmDb::without_flush(h, 16 << 10),
             "cache" => SlmDb::new(
                 h,
-                BaselineOptions::cache().with_memtable_bytes(64 << 10).with_segment_bytes(16 << 10),
+                BaselineOptions::cache()
+                    .with_memtable_bytes(64 << 10)
+                    .with_segment_bytes(16 << 10),
             ),
             _ => unreachable!(),
         }
@@ -350,7 +394,11 @@ mod tests {
     fn flush_moves_data_into_tables_and_bptree_serves_reads() {
         let db = small("vanilla");
         for i in 0..2000u32 {
-            db.put(format!("key{i:06}").as_bytes(), format!("val{i}").as_bytes()).unwrap();
+            db.put(
+                format!("key{i:06}").as_bytes(),
+                format!("val{i}").as_bytes(),
+            )
+            .unwrap();
         }
         assert!(db.table_count() > 0, "memtable rotated into tables");
         for i in (0..2000u32).step_by(83) {
@@ -366,7 +414,11 @@ mod tests {
         let db = small("vanilla");
         for round in 0..4u32 {
             for i in 0..800u32 {
-                db.put(format!("k{i:05}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+                db.put(
+                    format!("k{i:05}").as_bytes(),
+                    format!("r{round}").as_bytes(),
+                )
+                .unwrap();
             }
         }
         assert_eq!(db.get(b"k00400").unwrap(), Some(b"r3".to_vec()));
@@ -378,12 +430,19 @@ mod tests {
         // Hammer the same small key set so earlier tables rot.
         for round in 0..12u32 {
             for i in 0..600u32 {
-                db.put(format!("k{i:05}").as_bytes(), format!("round{round}").as_bytes()).unwrap();
+                db.put(
+                    format!("k{i:05}").as_bytes(),
+                    format!("round{round}").as_bytes(),
+                )
+                .unwrap();
             }
         }
         // Every key still readable at its newest value.
         for i in (0..600u32).step_by(61) {
-            assert_eq!(db.get(format!("k{i:05}").as_bytes()).unwrap(), Some(b"round11".to_vec()));
+            assert_eq!(
+                db.get(format!("k{i:05}").as_bytes()).unwrap(),
+                Some(b"round11".to_vec())
+            );
         }
         // GC kept the table set bounded well below one-table-per-flush.
         assert!(db.table_count() < 12, "GC ran: {} tables", db.table_count());

@@ -28,16 +28,33 @@ fn run(miss_threshold: u64, scale: &BenchScale) -> (f64, usize) {
     let key = KeyGen::paper();
     let value = ValueGen::new(64);
     let threads = 12;
-    let m = run_ops(&store, DbBench::FillRandom, scale.keyspace, scale.ops / threads as u64, threads, &key, &value);
+    let m = run_ops(
+        &store,
+        DbBench::FillRandom,
+        scale.keyspace,
+        scale.ops / threads as u64,
+        threads,
+        &key,
+        &value,
+    );
     (m.kops(), db.pool().slot_count())
 }
 
 fn main() {
     let scale = BenchScale::default();
-    banner("Ablation: elasticity", &format!("12 writers over a 4-slot pool — {} writes", scale.ops));
+    banner(
+        "Ablation: elasticity",
+        &format!("12 writers over a 4-slot pool — {} writes", scale.ops),
+    );
     row("config", &["Kops/s".into(), "final slots".into()]);
     let (kops, slots) = run(4, &scale);
-    row("elastic (threshold 4)", &[format!("{kops:.1}"), slots.to_string()]);
+    row(
+        "elastic (threshold 4)",
+        &[format!("{kops:.1}"), slots.to_string()],
+    );
     let (kops, slots) = run(u64::MAX, &scale);
-    row("rigid (disabled)", &[format!("{kops:.1}"), slots.to_string()]);
+    row(
+        "rigid (disabled)",
+        &[format!("{kops:.1}"), slots.to_string()],
+    );
 }

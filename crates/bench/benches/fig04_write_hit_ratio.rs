@@ -48,13 +48,27 @@ fn main() {
 
     banner(
         "Figure 4",
-        &format!("XPBuffer write hit ratio (%) — random writes, {} ops, 4 MiB LLC", scale.ops),
+        &format!(
+            "XPBuffer write hit ratio (%) — random writes, {} ops, 4 MiB LLC",
+            scale.ops
+        ),
     );
-    row("value size", &value_sizes.iter().map(|v| format!("{v} B")).collect::<Vec<_>>());
+    row(
+        "value size",
+        &value_sizes
+            .iter()
+            .map(|v| format!("{v} B"))
+            .collect::<Vec<_>>(),
+    );
     for kind in SystemKind::ob1_set() {
         let cells = value_sizes
             .iter()
-            .map(|&vs| format!("{:.1}", measure(kind, vs, scale.ops).write_hit_ratio() * 100.0))
+            .map(|&vs| {
+                format!(
+                    "{:.1}",
+                    measure(kind, vs, scale.ops).write_hit_ratio() * 100.0
+                )
+            })
             .collect::<Vec<_>>();
         row(kind.name(), &cells);
     }
@@ -64,7 +78,10 @@ fn main() {
     let mut cells = Vec::new();
     for kind in SystemKind::ob1_set() {
         names.push(kind.name().to_string());
-        cells.push(format!("{:.2}x", measure(kind, 64, scale.ops).write_amplification()));
+        cells.push(format!(
+            "{:.2}x",
+            measure(kind, 64, scale.ops).write_amplification()
+        ));
     }
     row("system", &names);
     row("write amplification", &cells);

@@ -6,8 +6,8 @@
 //! (b) write-latency breakdown of NoveLSM-cache — expected: index update +
 //!     MemTable lock dominate (46.3% at 2 threads, 67.0% at 8 in the paper).
 
-use cachekv_baselines::NoveLsm;
 use cachekv_baselines::BaselineOptions;
+use cachekv_baselines::NoveLsm;
 use cachekv_bench::{banner, bench_storage, build, fresh_hierarchy, row, BenchScale, SystemKind};
 use cachekv_workloads::{run_ops, DbBench, KeyGen, ValueGen};
 use std::sync::Arc;
@@ -18,20 +18,45 @@ fn main() {
     let value = ValueGen::new(64);
     let threads = [1usize, 2, 4, 8];
 
-    banner("Figure 5(a)", &format!("random-write Kops/s vs user threads — 64 B values, {} ops/point", scale.ops));
-    row("threads", &threads.iter().map(|t| t.to_string()).collect::<Vec<_>>());
+    banner(
+        "Figure 5(a)",
+        &format!(
+            "random-write Kops/s vs user threads — 64 B values, {} ops/point",
+            scale.ops
+        ),
+    );
+    row(
+        "threads",
+        &threads.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+    );
     for kind in SystemKind::ob1_set() {
         let mut cells = Vec::new();
         for &t in &threads {
             let inst = build(kind, &scale);
-            let m = run_ops(&inst.store, DbBench::FillRandom, scale.keyspace, scale.ops / t as u64, t, &key, &value);
+            let m = run_ops(
+                &inst.store,
+                DbBench::FillRandom,
+                scale.keyspace,
+                scale.ops / t as u64,
+                t,
+                &key,
+                &value,
+            );
             cells.push(format!("{:.1}", m.kops()));
         }
         row(kind.name(), &cells);
     }
 
     banner("Figure 5(b)", "NoveLSM-cache write latency breakdown (%)");
-    row("threads", &["lock wait".into(), "index update".into(), "data write".into(), "others".into()]);
+    row(
+        "threads",
+        &[
+            "lock wait".into(),
+            "index update".into(),
+            "data write".into(),
+            "others".into(),
+        ],
+    );
     for &t in &threads {
         let hier = fresh_hierarchy();
         let db = Arc::new(NoveLsm::new(
@@ -40,7 +65,15 @@ fn main() {
             bench_storage(),
         ));
         let store: Arc<dyn cachekv_lsm::KvStore> = db.clone();
-        run_ops(&store, DbBench::FillRandom, scale.keyspace, scale.ops / t as u64, t, &key, &value);
+        run_ops(
+            &store,
+            DbBench::FillRandom,
+            scale.keyspace,
+            scale.ops / t as u64,
+            t,
+            &key,
+            &value,
+        );
         let (l, i, d, o) = db.breakdown().snapshot().fractions();
         row(
             &format!("{t} threads"),

@@ -16,14 +16,31 @@ fn main() {
         (DbBench::FillSeq, "(a) sequential writes"),
         (DbBench::FillRandom, "(b) random writes"),
     ] {
-        banner("Figure 10", &format!("{title} — Kops/s, 1 thread, {} ops", scale.ops));
-        row("value size", &value_sizes.iter().map(|v| format!("{v} B")).collect::<Vec<_>>());
+        banner(
+            "Figure 10",
+            &format!("{title} — Kops/s, 1 thread, {} ops", scale.ops),
+        );
+        row(
+            "value size",
+            &value_sizes
+                .iter()
+                .map(|v| format!("{v} B"))
+                .collect::<Vec<_>>(),
+        );
         for kind in SystemKind::exp1_set() {
             let mut cells = Vec::new();
             for &vs in &value_sizes {
                 let inst = build(kind, &scale);
                 let value = ValueGen::new(vs);
-                let m = run_ops(&inst.store, mode, scale.keyspace, scale.ops, 1, &key, &value);
+                let m = run_ops(
+                    &inst.store,
+                    mode,
+                    scale.keyspace,
+                    scale.ops,
+                    1,
+                    &key,
+                    &value,
+                );
                 cells.push(format!("{:.1}", m.kops()));
             }
             row(kind.name(), &cells);

@@ -18,15 +18,32 @@ fn main() {
         (DbBench::ReadSeq, "(a) sequential reads"),
         (DbBench::ReadRandom, "(b) random reads"),
     ] {
-        banner("Figure 11", &format!("{title} — Kops/s, 1 thread, {} reads", scale.ops));
-        row("value size", &value_sizes.iter().map(|v| format!("{v} B")).collect::<Vec<_>>());
+        banner(
+            "Figure 11",
+            &format!("{title} — Kops/s, 1 thread, {} reads", scale.ops),
+        );
+        row(
+            "value size",
+            &value_sizes
+                .iter()
+                .map(|v| format!("{v} B"))
+                .collect::<Vec<_>>(),
+        );
         for kind in SystemKind::exp1_set() {
             let mut cells = Vec::new();
             for &vs in &value_sizes {
                 let inst = build(kind, &scale);
                 let value = ValueGen::new(vs);
                 driver::fill(&inst.store, scale.keyspace, &key, &value);
-                let m = run_ops(&inst.store, mode, scale.keyspace, scale.ops, 1, &key, &value);
+                let m = run_ops(
+                    &inst.store,
+                    mode,
+                    scale.keyspace,
+                    scale.ops,
+                    1,
+                    &key,
+                    &value,
+                );
                 cells.push(format!("{:.1}", m.kops()));
             }
             row(kind.name(), &cells);

@@ -13,8 +13,20 @@ fn main() {
     let value = ValueGen::new(64);
     let workloads = YcsbWorkload::all();
 
-    banner("Figure 13", &format!("YCSB throughput (Kops/s) — 1 thread, {} requests/workload", scale.ops));
-    row("workload", &workloads.iter().map(|w| w.name().to_string()).collect::<Vec<_>>());
+    banner(
+        "Figure 13",
+        &format!(
+            "YCSB throughput (Kops/s) — 1 thread, {} requests/workload",
+            scale.ops
+        ),
+    );
+    row(
+        "workload",
+        &workloads
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect::<Vec<_>>(),
+    );
     for kind in SystemKind::comparison_set() {
         let mut cells = Vec::new();
         for w in workloads {

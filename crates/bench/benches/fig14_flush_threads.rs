@@ -14,8 +14,14 @@ fn main() {
     let flushers = [1usize, 2, 3, 4, 5, 6];
     let user_threads = [2usize, 4, 6];
 
-    banner("Figure 14", &format!("CacheKV random-write Kops/s — {} writes/point", scale.ops));
-    row("flush threads", &flushers.iter().map(|f| f.to_string()).collect::<Vec<_>>());
+    banner(
+        "Figure 14",
+        &format!("CacheKV random-write Kops/s — {} writes/point", scale.ops),
+    );
+    row(
+        "flush threads",
+        &flushers.iter().map(|f| f.to_string()).collect::<Vec<_>>(),
+    );
     for &u in &user_threads {
         let mut cells = Vec::new();
         for &f in &flushers {
@@ -24,7 +30,15 @@ fn main() {
             let mut s = scale.clone();
             s.subtable_bytes = 256 << 10;
             let inst = build_with(SystemKind::CacheKv, &s, f);
-            let m = run_ops(&inst.store, DbBench::FillRandom, s.keyspace, s.ops / u as u64, u, &key, &value);
+            let m = run_ops(
+                &inst.store,
+                DbBench::FillRandom,
+                s.keyspace,
+                s.ops / u as u64,
+                u,
+                &key,
+                &value,
+            );
             cells.push(format!("{:.1}", m.kops()));
         }
         row(&format!("{u} user threads"), &cells);

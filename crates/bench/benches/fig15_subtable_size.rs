@@ -17,7 +17,13 @@ fn main() {
     let flushers = 4usize;
 
     banner("Figure 15", &format!("CacheKV vs sub-MemTable size — pool 12 MiB, {user_threads} user / {flushers} flush threads"));
-    row("sub-MemTable", &sizes_kb.iter().map(|s| format!("{s} KiB")).collect::<Vec<_>>());
+    row(
+        "sub-MemTable",
+        &sizes_kb
+            .iter()
+            .map(|s| format!("{s} KiB"))
+            .collect::<Vec<_>>(),
+    );
 
     let mut read_cells = Vec::new();
     let mut write_cells = Vec::new();
@@ -27,7 +33,15 @@ fn main() {
         // (a) random reads over a filled store.
         let inst = build_with(SystemKind::CacheKv, &s, flushers);
         driver::fill(&inst.store, s.keyspace, &key, &value);
-        let m = run_ops(&inst.store, DbBench::ReadRandom, s.keyspace, s.ops / user_threads as u64, user_threads, &key, &value);
+        let m = run_ops(
+            &inst.store,
+            DbBench::ReadRandom,
+            s.keyspace,
+            s.ops / user_threads as u64,
+            user_threads,
+            &key,
+            &value,
+        );
         read_cells.push(format!("{:.1}", m.kops()));
         // (b) random writes on a fresh store.
         // Median of 3 repetitions: multi-threaded flush scheduling on a
@@ -35,8 +49,16 @@ fn main() {
         let mut reps: Vec<f64> = (0..3)
             .map(|_| {
                 let inst = build_with(SystemKind::CacheKv, &s, flushers);
-                run_ops(&inst.store, DbBench::FillRandom, s.keyspace, s.ops / user_threads as u64, user_threads, &key, &value)
-                    .kops()
+                run_ops(
+                    &inst.store,
+                    DbBench::FillRandom,
+                    s.keyspace,
+                    s.ops / user_threads as u64,
+                    user_threads,
+                    &key,
+                    &value,
+                )
+                .kops()
             })
             .collect();
         reps.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -18,7 +18,13 @@ fn main() {
     let flushers = 4usize;
 
     banner("Figure 16", &format!("CacheKV vs pool size — 1 MiB sub-MemTables, {user_threads} user / {flushers} flush threads"));
-    row("pool size", &pools_mb.iter().map(|p| format!("{p} MiB")).collect::<Vec<_>>());
+    row(
+        "pool size",
+        &pools_mb
+            .iter()
+            .map(|p| format!("{p} MiB"))
+            .collect::<Vec<_>>(),
+    );
 
     let mut read_cells = Vec::new();
     let mut write_cells = Vec::new();
@@ -28,15 +34,31 @@ fn main() {
         s.subtable_bytes = 1 << 20;
         let inst = build_with(SystemKind::CacheKv, &s, flushers);
         driver::fill(&inst.store, s.keyspace, &key, &value);
-        let m = run_ops(&inst.store, DbBench::ReadRandom, s.keyspace, s.ops / user_threads as u64, user_threads, &key, &value);
+        let m = run_ops(
+            &inst.store,
+            DbBench::ReadRandom,
+            s.keyspace,
+            s.ops / user_threads as u64,
+            user_threads,
+            &key,
+            &value,
+        );
         read_cells.push(format!("{:.1}", m.kops()));
         // Median of 3 repetitions: multi-threaded flush scheduling on a
         // small host is noisy.
         let mut reps: Vec<f64> = (0..3)
             .map(|_| {
                 let inst = build_with(SystemKind::CacheKv, &s, flushers);
-                run_ops(&inst.store, DbBench::FillRandom, s.keyspace, s.ops / user_threads as u64, user_threads, &key, &value)
-                    .kops()
+                run_ops(
+                    &inst.store,
+                    DbBench::FillRandom,
+                    s.keyspace,
+                    s.ops / user_threads as u64,
+                    user_threads,
+                    &key,
+                    &value,
+                )
+                .kops()
             })
             .collect();
         reps.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -27,7 +27,8 @@ fn bench_skiplist(c: &mut Criterion) {
         let mut list = SkipList::new(DramSpace::new(256 << 20));
         b.iter(|| {
             let key = format!("key{:012}", i * 7919 % 1_000_000);
-            list.insert(key.as_bytes(), pack_meta(i + 1, EntryKind::Put), &[0u8; 16]).unwrap();
+            list.insert(key.as_bytes(), pack_meta(i + 1, EntryKind::Put), &[0u8; 16])
+                .unwrap();
             i += 1;
         });
     });
@@ -37,14 +38,20 @@ fn bench_skiplist(c: &mut Criterion) {
         let mut list = SkipList::new(PmemSpace::new(h, 1 << 20, 128 << 20, FlushMode::Clflush));
         b.iter(|| {
             let key = format!("key{:012}", i * 7919 % 1_000_000);
-            list.insert(key.as_bytes(), pack_meta(i + 1, EntryKind::Put), &[0u8; 16]).unwrap();
+            list.insert(key.as_bytes(), pack_meta(i + 1, EntryKind::Put), &[0u8; 16])
+                .unwrap();
             i += 1;
         });
     });
     g.bench_function("get_dram", |b| {
         let mut list = SkipList::new(DramSpace::new(64 << 20));
         for i in 0..100_000u64 {
-            list.insert(format!("key{i:012}").as_bytes(), pack_meta(i + 1, EntryKind::Put), &[0u8; 16]).unwrap();
+            list.insert(
+                format!("key{i:012}").as_bytes(),
+                pack_meta(i + 1, EntryKind::Put),
+                &[0u8; 16],
+            )
+            .unwrap();
         }
         let mut i = 0u64;
         b.iter(|| {
@@ -91,7 +98,12 @@ fn bench_subtable(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             if st
-                .append(b"key0000000000001", pack_meta(i + 1, EntryKind::Put), &[5u8; 64], &mut scratch)
+                .append(
+                    b"key0000000000001",
+                    pack_meta(i + 1, EntryKind::Put),
+                    &[5u8; 64],
+                    &mut scratch,
+                )
                 .unwrap()
                 == cachekv::subtable::Append::Full
             {

@@ -114,7 +114,10 @@ pub struct BenchScale {
 
 impl Default for BenchScale {
     fn default() -> Self {
-        let ops = std::env::var("CACHEKV_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(30_000);
+        let ops = std::env::var("CACHEKV_OPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30_000);
         BenchScale {
             ops,
             keyspace: ops,
@@ -144,7 +147,10 @@ pub fn fresh_hierarchy() -> Arc<Hierarchy> {
 pub fn fresh_hierarchy_with_cache(cache_bytes: usize) -> Arc<Hierarchy> {
     let clock = Arc::new(Clock::new(ClockMode::Spin));
     let dev = Arc::new(PmemDevice::with_clock(PmemConfig::paper_scaled(), clock));
-    Arc::new(Hierarchy::new(dev, CacheConfig::paper().with_capacity(cache_bytes)))
+    Arc::new(Hierarchy::new(
+        dev,
+        CacheConfig::paper().with_capacity(cache_bytes),
+    ))
 }
 
 /// Storage component configuration used by every system in the benches.
@@ -164,7 +170,12 @@ pub fn build_with(kind: SystemKind, scale: &BenchScale, flush_threads: usize) ->
 }
 
 /// Build one system over a caller-supplied hierarchy.
-pub fn build_on(hier: Arc<Hierarchy>, kind: SystemKind, scale: &BenchScale, flush_threads: usize) -> Instance {
+pub fn build_on(
+    hier: Arc<Hierarchy>,
+    kind: SystemKind,
+    scale: &BenchScale,
+    flush_threads: usize,
+) -> Instance {
     let store: Arc<dyn KvStore> = match kind {
         SystemKind::CacheKv | SystemKind::Pcsm | SystemKind::PcsmLiu => {
             let techniques = match kind {
@@ -215,7 +226,10 @@ pub fn build_on(hier: Arc<Hierarchy>, kind: SystemKind, scale: &BenchScale, flus
         )),
         SystemKind::LevelDbLike => Arc::new(LsmTree::create(
             hier.clone(),
-            LsmConfig { memtable_bytes: scale.memtable_bytes, storage: bench_storage() },
+            LsmConfig {
+                memtable_bytes: scale.memtable_bytes,
+                storage: bench_storage(),
+            },
         )),
     };
     Instance { kind, store, hier }

@@ -17,13 +17,21 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Paper testbed geometry: a 36 MiB shared LLC, 12-way.
     pub fn paper() -> Self {
-        CacheConfig { capacity: 36 << 20, ways: 12, shards: 64 }
+        CacheConfig {
+            capacity: 36 << 20,
+            ways: 12,
+            shards: 64,
+        }
     }
 
     /// A tiny cache for unit tests: 16 KiB, 4-way, 1 shard (deterministic
     /// eviction order across a whole run).
     pub fn small() -> Self {
-        CacheConfig { capacity: 16 << 10, ways: 4, shards: 1 }
+        CacheConfig {
+            capacity: 16 << 10,
+            ways: 4,
+            shards: 1,
+        }
     }
 
     /// Number of sets implied by the geometry.

@@ -3,8 +3,9 @@
 use crate::config::CacheConfig;
 use crate::llc::Llc;
 use crate::stats::CacheStats;
-use cachekv_pmem::{PersistDomain, PmemDevice, PmemStats};
-use std::sync::Arc;
+use cachekv_pmem::faults::TripReport;
+use cachekv_pmem::{FaultPlan, PersistDomain, PmemDevice, PmemStats};
+use std::sync::{Arc, Weak};
 
 /// Simulated LLC + PMem device, presented as one persistent address space.
 ///
@@ -12,13 +13,42 @@ use std::sync::Arc;
 /// structures (CacheKV's sub-skiplists, global metadata) are ordinary Rust
 /// memory and never touch it — exactly the split the paper argues for.
 pub struct Hierarchy {
-    llc: Llc,
+    llc: Arc<Llc>,
 }
 
 impl Hierarchy {
     /// Build a hierarchy over `dev` with the given cache geometry.
     pub fn new(dev: Arc<PmemDevice>, cache: CacheConfig) -> Self {
-        Hierarchy { llc: Llc::new(dev, cache) }
+        let llc = Arc::new(Llc::new(dev, cache));
+        // Under eADR the LLC is inside the persistence domain: when an
+        // injected fault trips, its dirty lines must reach the device
+        // before the survivor image is captured. The observer holds a Weak
+        // so the device does not keep its own cache alive (no Arc cycle).
+        if llc.device().domain() == PersistDomain::Eadr {
+            let weak: Weak<Llc> = Arc::downgrade(&llc);
+            llc.device().set_fault_observer(Box::new(move || {
+                if let Some(llc) = weak.upgrade() {
+                    llc.writeback_all();
+                }
+            }));
+        }
+        Hierarchy { llc }
+    }
+
+    /// Arm fault injection on the underlying device (see
+    /// [`cachekv_pmem::faults`]).
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.llc.device().install_fault_plan(plan);
+    }
+
+    /// True from the instant an injected fault has tripped.
+    pub fn fault_tripped(&self) -> bool {
+        self.llc.device().fault_tripped()
+    }
+
+    /// Take the survivor image captured by the last fault trip.
+    pub fn take_trip_report(&self) -> Option<TripReport> {
+        self.llc.device().take_trip_report()
     }
 
     /// The underlying device.
@@ -350,8 +380,54 @@ mod tests {
         h.store_u64(192, 777);
         h.power_fail(); // eADR: value reaches media; CAT regions cleared
         h.cat_lock(0, 4096);
-        assert_eq!(h.cas_u64(192, 777, 888), 777, "CAS fetched the persisted value");
+        assert_eq!(
+            h.cas_u64(192, 777, 888),
+            777,
+            "CAS fetched the persisted value"
+        );
         assert_eq!(h.load_u64(192), 888);
+    }
+
+    #[test]
+    fn eadr_fault_trip_captures_dirty_cache_lines() {
+        use cachekv_pmem::FaultPlan;
+        let h = hier(PersistDomain::Eadr);
+        // Dirty line stays in the LLC: the device has not seen it.
+        h.store(512, b"in-cache");
+        assert_eq!(h.pmem_stats().cpu_writes, 0);
+        // Trip on an unrelated NT store (event 1).
+        h.install_fault_plan(FaultPlan::at(1));
+        h.nt_store(4096, &[9u8; 64]);
+        assert!(h.fault_tripped());
+        let report = h.take_trip_report().expect("tripped");
+        let r = Arc::new(cachekv_pmem::PmemDevice::from_media(
+            h.device().config().clone(),
+            report.media,
+        ));
+        let mut buf = [0u8; 8];
+        r.read(512, &mut buf);
+        assert_eq!(
+            &buf, b"in-cache",
+            "eADR: dirty LLC line written back at trip"
+        );
+        let mut nt = [0u8; 64];
+        r.read(4096, &mut nt);
+        assert_eq!(nt, [9u8; 64], "the tripping event itself completed");
+    }
+
+    #[test]
+    fn adr_fault_trip_loses_dirty_cache_lines() {
+        use cachekv_pmem::FaultPlan;
+        let h = hier(PersistDomain::Adr);
+        h.store(512, b"volatile");
+        h.install_fault_plan(FaultPlan::at(1));
+        h.nt_store(4096, &[9u8; 64]);
+        assert!(h.fault_tripped());
+        let report = h.take_trip_report().expect("tripped");
+        let r = cachekv_pmem::PmemDevice::from_media(h.device().config().clone(), report.media);
+        let mut buf = [0u8; 8];
+        r.read(512, &mut buf);
+        assert_eq!(buf, [0u8; 8], "ADR: unflushed cache contents are lost");
     }
 
     #[test]

@@ -52,12 +52,20 @@ impl Llc {
         for s in 0..shards {
             let sets_here = num_sets / shards + usize::from(s < num_sets % shards);
             v.push(Mutex::new(Shard {
-                sets: (0..sets_here).map(|_| Vec::with_capacity(cfg.ways)).collect(),
+                sets: (0..sets_here)
+                    .map(|_| Vec::with_capacity(cfg.ways))
+                    .collect(),
                 locked: HashMap::new(),
                 tick: 0,
             }));
         }
-        Llc { cfg, dev, shards: v, locked_ranges: RwLock::new(Vec::new()), stats: CacheStatsCell::default() }
+        Llc {
+            cfg,
+            dev,
+            shards: v,
+            locked_ranges: RwLock::new(Vec::new()),
+            stats: CacheStatsCell::default(),
+        }
     }
 
     pub fn device(&self) -> &Arc<PmemDevice> {
@@ -89,14 +97,24 @@ impl Llc {
 
     #[inline]
     fn charge_hit(&self) {
-        self.dev.clock().charge(self.dev.config().latency.cache_hit_ns);
+        self.dev
+            .clock()
+            .charge(self.dev.config().latency.cache_hit_ns);
     }
 
     /// Reserve `[start, start+len)` (64 B aligned) in the locked partition.
     /// Existing cached lines in the range migrate into it.
     pub fn lock_region(&self, start: u64, len: u64) {
-        assert_eq!(start % CACHELINE as u64, 0, "lock region must be line aligned");
-        assert_eq!(len % CACHELINE as u64, 0, "lock region length must be line aligned");
+        assert_eq!(
+            start % CACHELINE as u64,
+            0,
+            "lock region must be line aligned"
+        );
+        assert_eq!(
+            len % CACHELINE as u64,
+            0,
+            "lock region length must be line aligned"
+        );
         // Migrate any normally-cached lines in range into the locked table so
         // a single line never exists in both partitions.
         let mut addr = start;
@@ -105,7 +123,13 @@ impl Llc {
             let mut shard = self.shards[si].lock();
             if let Some(pos) = shard.sets[set].iter().position(|l| l.tag == addr) {
                 let line = shard.sets[set].swap_remove(pos);
-                shard.locked.insert(addr, LockedLine { data: line.data, dirty: line.dirty });
+                shard.locked.insert(
+                    addr,
+                    LockedLine {
+                        data: line.data,
+                        dirty: line.dirty,
+                    },
+                );
             }
             addr += CACHELINE as u64;
         }
@@ -125,10 +149,10 @@ impl Llc {
         while addr < start + len {
             let (si, _) = self.place(addr);
             let mut shard = self.shards[si].lock();
-            if let Some(line) = shard.locked.remove(&addr) {
-                if line.dirty {
-                    self.dev.write_cacheline(addr, &line.data);
-                }
+            let dirty = shard.locked.remove(&addr).filter(|l| l.dirty);
+            drop(shard);
+            if let Some(line) = dirty {
+                self.dev.write_cacheline(addr, &line.data);
             }
             addr += CACHELINE as u64;
         }
@@ -159,7 +183,12 @@ impl Llc {
 
     /// Apply `f(line_addr, lo, hi, dst_range)` to every cacheline overlapped
     /// by `[addr, addr+len)`.
-    fn for_each_line(&self, addr: u64, len: usize, mut f: impl FnMut(u64, usize, usize, std::ops::Range<usize>)) {
+    fn for_each_line(
+        &self,
+        addr: u64,
+        len: usize,
+        mut f: impl FnMut(u64, usize, usize, std::ops::Range<usize>),
+    ) {
         let mut cur = addr;
         let end = addr + len as u64;
         while cur < end {
@@ -194,8 +223,18 @@ impl Llc {
                         self.dev.read(line_addr, &mut data);
                         shard = self.shards[si].lock();
                     }
-                    data[lo..hi].copy_from_slice(src);
-                    shard.locked.insert(line_addr, LockedLine { data, dirty: true });
+                    // Re-check: another thread may have populated the line
+                    // while the lock was released for the fill; merging into
+                    // its (newer) copy must not clobber it with stale data.
+                    if let Some(l) = shard.locked.get_mut(&line_addr) {
+                        l.data[lo..hi].copy_from_slice(src);
+                        l.dirty = true;
+                    } else {
+                        data[lo..hi].copy_from_slice(src);
+                        shard
+                            .locked
+                            .insert(line_addr, LockedLine { data, dirty: true });
+                    }
                     CacheStatsCell::bump(&self.stats.store_misses);
                     drop(shard);
                     self.charge_hit();
@@ -226,9 +265,30 @@ impl Llc {
             drop(shard);
             self.dev.read(line_addr, &mut data);
             shard = self.shards[si].lock();
+            // Re-check: another thread may have allocated the line while
+            // the lock was released; merge into its copy rather than
+            // inserting a duplicate built from a possibly stale fill.
+            if let Some(l) = shard.sets[set].iter_mut().find(|l| l.tag == line_addr) {
+                l.data[lo..hi].copy_from_slice(src);
+                l.dirty = true;
+                l.tick = tick;
+                drop(shard);
+                self.charge_hit();
+                return;
+            }
         }
         data[lo..hi].copy_from_slice(src);
-        let victim = Self::insert_line(&mut shard, set, self.cfg.ways, Line { tag: line_addr, data, dirty: true, tick });
+        let victim = Self::insert_line(
+            &mut shard,
+            set,
+            self.cfg.ways,
+            Line {
+                tag: line_addr,
+                data,
+                dirty: true,
+                tick,
+            },
+        );
         drop(shard);
         self.charge_hit();
         self.evict(victim);
@@ -248,9 +308,18 @@ impl Llc {
                 drop(shard);
                 let mut data = [0u8; CACHELINE];
                 self.dev.read(line_addr, &mut data);
-                dst.copy_from_slice(&data[lo..hi]);
                 let mut shard = self.shards[si].lock();
-                shard.locked.insert(line_addr, LockedLine { data, dirty: false });
+                // Re-check: a store may have landed while the lock was
+                // released — its copy is newer than the device fill and
+                // must not be replaced with a stale clean line.
+                if let Some(l) = shard.locked.get(&line_addr) {
+                    dst.copy_from_slice(&l.data[lo..hi]);
+                } else {
+                    dst.copy_from_slice(&data[lo..hi]);
+                    shard
+                        .locked
+                        .insert(line_addr, LockedLine { data, dirty: false });
+                }
                 CacheStatsCell::bump(&self.stats.load_misses);
             }
             return;
@@ -278,7 +347,17 @@ impl Llc {
         if shard.sets[set].iter().any(|l| l.tag == line_addr) {
             return;
         }
-        let victim = Self::insert_line(&mut shard, set, self.cfg.ways, Line { tag: line_addr, data, dirty: false, tick });
+        let victim = Self::insert_line(
+            &mut shard,
+            set,
+            self.cfg.ways,
+            Line {
+                tag: line_addr,
+                data,
+                dirty: false,
+                tick,
+            },
+        );
         drop(shard);
         self.evict(victim);
     }
@@ -329,7 +408,10 @@ impl Llc {
             let mut data = [0u8; CACHELINE];
             self.dev.read(line, &mut data);
             shard = self.shards[si].lock();
-            shard.locked.entry(line).or_insert(LockedLine { data, dirty: false });
+            shard
+                .locked
+                .entry(line)
+                .or_insert(LockedLine { data, dirty: false });
         }
         let l = shard.locked.get_mut(&line).expect("just ensured present");
         let off = (addr - line) as usize;
@@ -357,7 +439,11 @@ impl Llc {
 
     fn flush_range(&self, addr: u64, len: usize, invalidate: bool) {
         let lat = self.dev.config().latency;
-        let cost = if invalidate { lat.clflush_ns } else { lat.clwb_ns };
+        let cost = if invalidate {
+            lat.clflush_ns
+        } else {
+            lat.clwb_ns
+        };
         let mut line = addr & LINE_MASK;
         let end = addr + len as u64;
         while line < end {
@@ -425,7 +511,9 @@ impl Llc {
         // Stream the payload. Full lines go straight through; edges are
         // completed by the device's read-patch path.
         let lines = data.len().div_ceil(CACHELINE) as u64;
-        self.stats.nt_lines.fetch_add(lines, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .nt_lines
+            .fetch_add(lines, std::sync::atomic::Ordering::Relaxed);
         self.dev.clock().charge(lines * lat.nt_store_64_ns);
         self.dev.write(addr, data);
     }
@@ -436,10 +524,20 @@ impl Llc {
     }
 
     /// Write back every dirty line (both partitions) without invalidating.
+    ///
+    /// The snapshot is a single point-in-time cut: all shards are locked at
+    /// once, dirty lines collected, then the locks released before the data
+    /// streams to the device. A real power failure freezes execution
+    /// instantly — every retired store is inside the eADR domain — so the
+    /// capture must not interleave with concurrent stores shard-by-shard
+    /// (that could capture a published header CAS while missing the record
+    /// bytes the same thread stored just before it, an ordering no hardware
+    /// can produce). No caller may hold a shard lock across a device write,
+    /// or the fault-trip observer running this would deadlock.
     pub fn writeback_all(&self) {
-        for m in &self.shards {
-            let mut shard = m.lock();
-            let mut pending: Vec<(u64, [u8; CACHELINE])> = Vec::new();
+        let mut guards: Vec<_> = self.shards.iter().map(|m| m.lock()).collect();
+        let mut pending: Vec<(u64, [u8; CACHELINE])> = Vec::new();
+        for shard in guards.iter_mut() {
             for set in shard.sets.iter_mut() {
                 for l in set.iter_mut().filter(|l| l.dirty) {
                     pending.push((l.tag, l.data));
@@ -452,12 +550,12 @@ impl Llc {
                     l.dirty = false;
                 }
             }
-            drop(shard);
-            // Deterministic order within the shard: by address.
-            pending.sort_unstable_by_key(|&(a, _)| a);
-            for (addr, data) in pending {
-                self.dev.write_cacheline(addr, &data);
-            }
+        }
+        drop(guards);
+        // Deterministic order: by address.
+        pending.sort_unstable_by_key(|&(a, _)| a);
+        for (addr, data) in pending {
+            self.dev.write_cacheline(addr, &data);
         }
     }
 

@@ -88,7 +88,11 @@ mod tests {
 
     #[test]
     fn hit_ratio() {
-        let s = CacheStats { load_hits: 9, load_misses: 1, ..Default::default() };
+        let s = CacheStats {
+            load_hits: 9,
+            load_misses: 1,
+            ..Default::default()
+        };
         assert!((s.load_hit_ratio() - 0.9).abs() < 1e-9);
         assert_eq!(CacheStats::default().load_hit_ratio(), 0.0);
     }

@@ -16,17 +16,26 @@ pub struct Techniques {
 impl Techniques {
     /// Bare per-core sub-MemTables with diligent index updates.
     pub fn pcsm() -> Self {
-        Techniques { lazy_index: false, compaction: false }
+        Techniques {
+            lazy_index: false,
+            compaction: false,
+        }
     }
 
     /// PCSM + lazy index update.
     pub fn pcsm_liu() -> Self {
-        Techniques { lazy_index: true, compaction: false }
+        Techniques {
+            lazy_index: true,
+            compaction: false,
+        }
     }
 
     /// The full system.
     pub fn all() -> Self {
-        Techniques { lazy_index: true, compaction: true }
+        Techniques {
+            lazy_index: true,
+            compaction: true,
+        }
     }
 }
 
@@ -65,7 +74,10 @@ impl Default for CacheKvConfig {
         // structure, modelling the paper's 24-core socket — not the host's
         // parallelism (the simulator must behave identically on small CI
         // machines).
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8).max(8);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8)
+            .max(8);
         CacheKvConfig {
             pool_bytes: 12 << 20,
             subtable_bytes: 2 << 20,
@@ -148,7 +160,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = CacheKvConfig::test_small().with_pool(1 << 20, 128 << 10).with_flush_threads(3).with_cores(2);
+        let c = CacheKvConfig::test_small()
+            .with_pool(1 << 20, 128 << 10)
+            .with_flush_threads(3)
+            .with_cores(2);
         assert_eq!(c.pool_bytes, 1 << 20);
         assert_eq!(c.subtable_bytes, 128 << 10);
         assert_eq!(c.flush_threads, 3);

@@ -83,8 +83,12 @@ impl SubIndex {
             added += 1;
         }
         g.synced_tail = end;
-        g.synced_count += added as u64;
-        debug_assert_eq!(g.synced_count, h.counter(), "record scan must match the table counter");
+        // On a clean table the scan count matches the header counter. On a
+        // torn crash image the published header can claim more records than
+        // the data region decodes (the counter's cacheline persisted, a data
+        // line did not); adopt the counter so sync converges instead of
+        // re-scanning the gap forever.
+        g.synced_count = h.counter();
         added
     }
 
@@ -154,14 +158,21 @@ impl SubIndex {
     }
 }
 
-/// Read the full record at `region_base + off` through the hierarchy.
-pub fn read_record(hier: &Arc<Hierarchy>, region_base: u64, off: u64) -> Entry {
+/// Read the full record at `region_base + off` through the hierarchy, or
+/// `None` if the bytes there don't decode. An indexed record always decodes
+/// on a live device; after a fault trip blackholes the copy-flush stream,
+/// a region can be indexed in DRAM while its media holds garbage.
+pub fn try_read_record(hier: &Arc<Hierarchy>, region_base: u64, off: u64) -> Option<Entry> {
     let hdr = hier.load_vec(region_base + off, RECORD_HDR);
     let klen = u16::from_le_bytes(hdr[0..2].try_into().unwrap()) as usize;
     let vlen = u32::from_le_bytes(hdr[2..6].try_into().unwrap()) as usize;
     let raw = hier.load_vec(region_base + off, RECORD_HDR + klen + vlen);
-    let (e, _) = decode_record_at(&raw, 0).expect("indexed record must decode");
-    e
+    decode_record_at(&raw, 0).map(|(e, _)| e)
+}
+
+/// Read the full record at `region_base + off` through the hierarchy.
+pub fn read_record(hier: &Arc<Hierarchy>, region_base: u64, off: u64) -> Entry {
+    try_read_record(hier, region_base, off).expect("indexed record must decode")
 }
 
 /// A sub-ImmMemTable that has been copy-flushed out of the cache: its data
@@ -231,7 +242,8 @@ impl GlobalIndex {
             let mut v = [0u8; 12];
             v[0..8].copy_from_slice(&gen.to_le_bytes());
             v[8..12].copy_from_slice(&off.to_le_bytes());
-            list.insert(key, *meta, &v).expect("global skiplist arena sized from inputs");
+            list.insert(key, *meta, &v)
+                .expect("global skiplist arena sized from inputs");
             entries += 1;
         }
         GlobalIndex { list, entries }
@@ -326,7 +338,11 @@ mod tests {
         idx.sync(&st);
         let (meta, off) = idx.get(b"key0005").unwrap();
         assert_eq!(meta_seq(meta), 86, "third version of key 5 (seq 6, 46, 86)");
-        let e = read_record(st.hierarchy(), st.base + crate::subtable::DATA_OFF, off as u64);
+        let e = read_record(
+            st.hierarchy(),
+            st.base + crate::subtable::DATA_OFF,
+            off as u64,
+        );
         assert_eq!(e.value, b"v86");
     }
 
@@ -350,10 +366,22 @@ mod tests {
     fn global_compaction_drops_stale_versions() {
         // Two "tables": gen 1 has old versions, gen 2 newer ones.
         let older: Vec<(Vec<u8>, u64, u32)> = (0..10)
-            .map(|i| (format!("k{i:02}").into_bytes(), pack_meta(i + 1, EntryKind::Put), i as u32 * 32))
+            .map(|i| {
+                (
+                    format!("k{i:02}").into_bytes(),
+                    pack_meta(i + 1, EntryKind::Put),
+                    i as u32 * 32,
+                )
+            })
             .collect();
         let newer: Vec<(Vec<u8>, u64, u32)> = (0..5)
-            .map(|i| (format!("k{i:02}").into_bytes(), pack_meta(i + 100, EntryKind::Put), i as u32 * 32))
+            .map(|i| {
+                (
+                    format!("k{i:02}").into_bytes(),
+                    pack_meta(i + 100, EntryKind::Put),
+                    i as u32 * 32,
+                )
+            })
             .collect();
         let g = GlobalIndex::compact(None, &[(1, older), (2, newer)]);
         assert_eq!(g.len(), 10, "10 distinct keys survive");
@@ -369,8 +397,10 @@ mod tests {
         let first: Vec<(Vec<u8>, u64, u32)> =
             vec![(b"a".to_vec(), pack_meta(1, EntryKind::Put), 0)];
         let g1 = GlobalIndex::compact(None, &[(1, first)]);
-        let second: Vec<(Vec<u8>, u64, u32)> =
-            vec![(b"a".to_vec(), pack_meta(9, EntryKind::Put), 64), (b"b".to_vec(), pack_meta(5, EntryKind::Put), 0)];
+        let second: Vec<(Vec<u8>, u64, u32)> = vec![
+            (b"a".to_vec(), pack_meta(9, EntryKind::Put), 64),
+            (b"b".to_vec(), pack_meta(5, EntryKind::Put), 0),
+        ];
         let g2 = GlobalIndex::compact(Some(&g1), &[(2, second)]);
         assert_eq!(g2.len(), 2);
         assert_eq!(g2.get(b"a").unwrap().1, 2, "newer gen wins");

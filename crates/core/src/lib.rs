@@ -58,6 +58,7 @@
 //! ```
 
 pub mod config;
+pub mod crashtest;
 pub mod flushlog;
 pub mod index;
 pub mod pool;

@@ -55,12 +55,18 @@ impl Pool {
         min_subtable: u64,
         miss_threshold: u64,
     ) -> Self {
-        assert!(size > DIR_BYTES + subtable_bytes, "pool too small for one sub-MemTable");
+        assert!(
+            size > DIR_BYTES + subtable_bytes,
+            "pool too small for one sub-MemTable"
+        );
         hier.cat_lock(base, size);
         let mut slots = Vec::new();
         let mut cur = base + DIR_BYTES;
         while cur + subtable_bytes <= base + size {
-            slots.push(Slot { base: cur, size: subtable_bytes });
+            slots.push(Slot {
+                base: cur,
+                size: subtable_bytes,
+            });
             cur += subtable_bytes;
         }
         let pool = Pool {
@@ -102,11 +108,23 @@ impl Pool {
         if magic != DIR_MAGIC {
             return None;
         }
-        Some(Self::reattach(hier, base, size, min_subtable, miss_threshold))
+        Some(Self::reattach(
+            hier,
+            base,
+            size,
+            min_subtable,
+            miss_threshold,
+        ))
     }
 
     /// Re-attach, panicking if the persisted directory is invalid.
-    pub fn reattach(hier: Arc<Hierarchy>, base: u64, size: u64, min_subtable: u64, miss_threshold: u64) -> Self {
+    pub fn reattach(
+        hier: Arc<Hierarchy>,
+        base: u64,
+        size: u64,
+        min_subtable: u64,
+        miss_threshold: u64,
+    ) -> Self {
         hier.cat_lock(base, size);
         let mut hdr = [0u8; 8];
         hier.load(base, &mut hdr);
@@ -162,7 +180,11 @@ impl Pool {
 
     /// Every slot as a handle (recovery scans all states).
     pub fn all_subtables(&self) -> Vec<SubTable> {
-        self.slots.lock().iter().map(|s| self.subtable_of(*s)).collect()
+        self.slots
+            .lock()
+            .iter()
+            .map(|s| self.subtable_of(*s))
+            .collect()
     }
 
     /// Try once to acquire a free sub-MemTable.
@@ -190,7 +212,8 @@ impl Pool {
                 return Some(st);
             }
         }
-        self.freed.wait_for(&mut slots, std::time::Duration::from_micros(200));
+        self.freed
+            .wait_for(&mut slots, std::time::Duration::from_micros(200));
         for s in slots.iter() {
             let st = self.subtable_of(*s);
             if st.try_acquire() {
@@ -229,7 +252,8 @@ impl Pool {
                 }
                 // Wait for a flush to free a slot (with a timeout to
                 // re-check under races).
-                self.freed.wait_for(&mut slots, std::time::Duration::from_millis(1));
+                self.freed
+                    .wait_for(&mut slots, std::time::Duration::from_millis(1));
             }
         }
     }
@@ -266,8 +290,17 @@ impl Pool {
                 return; // lost a race with a writer; skip this round
             }
             let half = s.size / 2;
-            slots[i] = Slot { base: s.base, size: half };
-            slots.insert(i + 1, Slot { base: s.base + half, size: half });
+            slots[i] = Slot {
+                base: s.base,
+                size: half,
+            };
+            slots.insert(
+                i + 1,
+                Slot {
+                    base: s.base + half,
+                    size: half,
+                },
+            );
             self.subtable_of(slots[i]).reset_free();
             self.subtable_of(slots[i + 1]).reset_free();
             self.write_directory(&slots);
@@ -289,7 +322,10 @@ impl Pool {
                 let (sa, sb) = (self.subtable_of(a), self.subtable_of(b));
                 if sa.try_acquire() {
                     if sb.try_acquire() {
-                        slots[i] = Slot { base: a.base, size: a.size * 2 };
+                        slots[i] = Slot {
+                            base: a.base,
+                            size: a.size * 2,
+                        };
                         slots.remove(i + 1);
                         self.subtable_of(slots[i]).reset_free();
                         self.write_directory(&slots);
@@ -325,15 +361,22 @@ mod tests {
     use cachekv_pmem::{PmemConfig, PmemDevice};
 
     fn hier() -> Arc<Hierarchy> {
-        let dev = Arc::new(PmemDevice::new(PmemConfig::paper_scaled().with_latency(
-            cachekv_pmem::LatencyConfig::zero(),
-        )));
+        let dev = Arc::new(PmemDevice::new(
+            PmemConfig::paper_scaled().with_latency(cachekv_pmem::LatencyConfig::zero()),
+        ));
         Arc::new(Hierarchy::new(dev, CacheConfig::small()))
     }
 
     fn pool(h: &Arc<Hierarchy>) -> Pool {
         // 4 KiB directory + 4 slots of 16 KiB.
-        Pool::create(h.clone(), 0, DIR_BYTES + 4 * (16 << 10), 16 << 10, 4 << 10, 2)
+        Pool::create(
+            h.clone(),
+            0,
+            DIR_BYTES + 4 * (16 << 10),
+            16 << 10,
+            4 << 10,
+            2,
+        )
     }
 
     #[test]
@@ -391,7 +434,11 @@ mod tests {
         p.release(&held[1]);
         let _ = waiter.join().unwrap();
         // A split happened: more than the original 4 slots now exist.
-        assert!(p.slot_count() > 4, "elasticity split: {} slots", p.slot_count());
+        assert!(
+            p.slot_count() > 4,
+            "elasticity split: {} slots",
+            p.slot_count()
+        );
         // Geometry remains a partition of the pool area.
         let layout = p.slot_layout();
         let total: u64 = layout.iter().map(|(_, s)| s).sum();

@@ -3,11 +3,13 @@
 
 use crate::config::CacheKvConfig;
 use crate::flushlog::FlushLog;
-use crate::index::{read_record, FlushedTable, GlobalIndex, SubIndex, TableEntries};
+use crate::index::{
+    read_record, try_read_record, FlushedTable, GlobalIndex, SubIndex, TableEntries,
+};
 use crate::pool::Pool;
 use crate::subtable::{Append, SlotState, SubTable, DATA_OFF};
 use cachekv_cache::Hierarchy;
-use cachekv_lsm::kv::{meta_kind, pack_meta, Entry, EntryKind, KvStore, Result};
+use cachekv_lsm::kv::{meta_kind, pack_meta, Entry, EntryKind, Error, KvStore, Result};
 use cachekv_lsm::tree::PmemLayout;
 use cachekv_lsm::StorageComponent;
 use cachekv_storage::PmemAllocator;
@@ -113,13 +115,22 @@ impl CacheKv {
             cfg.min_subtable_bytes,
             cfg.miss_threshold,
         );
-        Self::assemble(hier, alloc, cfg, pool, storage, flushlog, MemIndexes {
-            sealing: Vec::new(),
-            flushed: Vec::new(),
-            global: None,
-            gen_regions: HashMap::new(),
-            flushed_bytes: 0,
-        }, 1)
+        Self::assemble(
+            hier,
+            alloc,
+            cfg,
+            pool,
+            storage,
+            flushlog,
+            MemIndexes {
+                sealing: Vec::new(),
+                flushed: Vec::new(),
+                global: None,
+                gen_regions: HashMap::new(),
+                flushed_bytes: 0,
+            },
+            1,
+        )
     }
 
     /// Recover after a power failure (Section III-E): re-establish the CAT
@@ -138,7 +149,9 @@ impl CacheKv {
         )?;
         let (pool_info, flushed_regions, flushlog) =
             FlushLog::recover(hier.clone(), layout.wal_base, layout.wal_cap);
-        let (pool_base, pool_bytes) = pool_info.expect("flush log records the pool region");
+        let (pool_base, pool_bytes) = pool_info.ok_or_else(|| {
+            Error::Corruption("flush log has no pool record: store was never created".into())
+        })?;
         alloc.reserve(pool_base, pool_bytes);
         // On eADR the directory and slot headers survived in the caches; on
         // ADR they died with them, so the pool is rebuilt empty (anything
@@ -183,7 +196,12 @@ impl CacheKv {
             next_gen = next_gen.max(gen + 1);
             mem.gen_regions.insert(gen, (base, len));
             mem.flushed_bytes += len;
-            mem.flushed.push(FlushedTable { gen, base, len, index });
+            mem.flushed.push(FlushedTable {
+                gen,
+                base,
+                len,
+                index,
+            });
         }
         storage.versions().bump_seq_to(max_seq);
 
@@ -206,9 +224,15 @@ impl CacheKv {
             for (_, meta, _) in index.entries() {
                 crash_max_seq = crash_max_seq.max(cachekv_lsm::kv::meta_seq(meta));
             }
-            kv.shared.mem.write().sealing.push((st.clone(), index.clone()));
+            kv.shared
+                .mem
+                .write()
+                .sealing
+                .push((st.clone(), index.clone()));
             *kv.shared.pending_flushes.lock() += 1;
-            kv.flush_tx.send(FlushMsg::Seal(st, index)).expect("flush thread alive");
+            kv.flush_tx
+                .send(FlushMsg::Seal(st, index))
+                .expect("flush thread alive");
         }
         kv.shared.storage.versions().bump_seq_to(crash_max_seq);
         kv.quiesce();
@@ -275,7 +299,9 @@ impl CacheKv {
         let core_refs: Arc<Vec<CoreRef>> = Arc::new(
             kv.cores
                 .iter()
-                .map(|c| CoreRef { ptr: c as *const Mutex<CoreSlot> as usize })
+                .map(|c| CoreRef {
+                    ptr: c as *const Mutex<CoreSlot> as usize,
+                })
                 .collect(),
         );
         kv.threads.lock().push(
@@ -322,9 +348,15 @@ impl CacheKv {
 
     /// Publish a sealed table to readers and enqueue its flush.
     fn seal_to_flush(&self, st: SubTable, index: Arc<SubIndex>) {
-        self.shared.mem.write().sealing.push((st.clone(), index.clone()));
+        self.shared
+            .mem
+            .write()
+            .sealing
+            .push((st.clone(), index.clone()));
         *self.shared.pending_flushes.lock() += 1;
-        self.flush_tx.send(FlushMsg::Seal(st, index)).expect("flush thread alive");
+        self.flush_tx
+            .send(FlushMsg::Seal(st, index))
+            .expect("flush thread alive");
     }
 
     /// Get a free sub-MemTable for `core`, force-sealing idle peers if the
@@ -418,11 +450,12 @@ impl KvStore for CacheKv {
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let s = &self.shared;
         let mut best: Option<(u64, Option<Vec<u8>>)> = None;
-        let consider = |meta: u64, value: Option<Vec<u8>>, best: &mut Option<(u64, Option<Vec<u8>>)>| {
-            if best.as_ref().is_none_or(|(m, _)| meta > *m) {
-                *best = Some((meta, value));
-            }
-        };
+        let consider =
+            |meta: u64, value: Option<Vec<u8>>, best: &mut Option<(u64, Option<Vec<u8>>)>| {
+                if best.as_ref().is_none_or(|(m, _)| meta > *m) {
+                    *best = Some((meta, value));
+                }
+            };
 
         // 1. Active sub-MemTables: sync-on-read (strategy 1), then probe.
         for c in &self.cores {
@@ -494,7 +527,10 @@ impl KvStore for CacheKv {
     }
 
     fn name(&self) -> &'static str {
-        match (self.shared.cfg.techniques.lazy_index, self.shared.cfg.techniques.compaction) {
+        match (
+            self.shared.cfg.techniques.lazy_index,
+            self.shared.cfg.techniques.compaction,
+        ) {
             (false, _) => "PCSM",
             (true, false) => "PCSM+LIU",
             (true, true) => "CacheKV",
@@ -566,6 +602,7 @@ fn flush_loop(s: &Arc<Shared>, rx: &Receiver<FlushMsg>) {
 /// streaming (non-temporal) copy of the data region out of the cache into
 /// PMem — no reliance on cacheline replacement, whole XPLines filled.
 fn flush_one(s: &Arc<Shared>, st: SubTable, index: Arc<SubIndex>) {
+    let _ctx = cachekv_pmem::fault_context("cachekv::copy_flush");
     index.sync(&st); // strategy 3: sync when the table sealed
     let len = st.header().tail();
     if len > 0 {
@@ -583,7 +620,12 @@ fn flush_one(s: &Arc<Shared>, st: SubTable, index: Arc<SubIndex>) {
         s.flushlog.log_flushed(gen, base, len);
         m.gen_regions.insert(gen, (base, len));
         m.flushed_bytes += len;
-        m.flushed.push(FlushedTable { gen, base, len, index: index.clone() });
+        m.flushed.push(FlushedTable {
+            gen,
+            base,
+            len,
+            index: index.clone(),
+        });
         if let Some(pos) = m.sealing.iter().position(|(t, _)| t.base == st.base) {
             m.sealing.remove(pos);
         }
@@ -626,6 +668,12 @@ fn maint_loop(s: &Arc<Shared>, rx: &Receiver<MaintMsg>, cores: &Arc<Vec<CoreRef>
 /// front-end reads and flushes proceed concurrently.
 fn housekeep(s: &Arc<Shared>) {
     let _serial = s.housekeep_lock.lock();
+    // After a simulated power failure the device blackholes writes, so
+    // copy-flushed regions may hold garbage; a real powered-off machine
+    // does no housekeeping either.
+    if s.hier.fault_tripped() {
+        return;
+    }
 
     // Phase 1: sub-skiplist compaction into the global skiplist.
     if s.cfg.techniques.compaction {
@@ -634,8 +682,11 @@ fn housekeep(s: &Arc<Shared>) {
             if m.flushed.is_empty() {
                 (Vec::new(), None)
             } else {
-                let sources: Vec<TableEntries> =
-                    m.flushed.iter().map(|ft| (ft.gen, ft.index.entries())).collect();
+                let sources: Vec<TableEntries> = m
+                    .flushed
+                    .iter()
+                    .map(|ft| (ft.gen, ft.index.entries()))
+                    .collect();
                 let g = GlobalIndex::compact(m.global.as_ref(), &sources);
                 (sources, Some(g))
             }
@@ -643,7 +694,8 @@ fn housekeep(s: &Arc<Shared>) {
         if let Some(g) = new_global {
             let mut m = s.mem.write();
             // Tables flushed after the snapshot stay pending for next round.
-            m.flushed.retain(|ft| !sources.iter().any(|(gen, _)| *gen == ft.gen));
+            m.flushed
+                .retain(|ft| !sources.iter().any(|(gen, _)| *gen == ft.gen));
             m.global = Some(g);
         }
     }
@@ -652,42 +704,72 @@ fn housekeep(s: &Arc<Shared>) {
     if s.mem.read().flushed_bytes < s.cfg.dump_threshold_bytes {
         return;
     }
+    let _ctx = cachekv_pmem::fault_context("cachekv::l0_dump");
     // Build the dump set under a read lock (value resolution is the heavy
     // part); `housekeep_lock` guarantees nobody else replaces `global`.
     let (entries, dumped_gens) = {
         let m = s.mem.read();
-        let sources: Vec<TableEntries> =
-            m.flushed.iter().map(|ft| (ft.gen, ft.index.entries())).collect();
+        let sources: Vec<TableEntries> = m
+            .flushed
+            .iter()
+            .map(|ft| (ft.gen, ft.index.entries()))
+            .collect();
         let merged = GlobalIndex::compact(m.global.as_ref(), &sources);
         let dumped: Vec<u64> = m.gen_regions.keys().copied().collect();
         let entries: Vec<Entry> = merged
             .entries()
             .into_iter()
-            .map(|(_, _, gen, off)| {
+            .filter_map(|(_, _, gen, off)| {
                 let (base, _) = m.gen_regions[&gen];
-                read_record(&s.hier, base, off as u64)
+                match try_read_record(&s.hier, base, off as u64) {
+                    Some(e) => Some(e),
+                    // A trip can land between the entry check and here: the
+                    // region's blackholed copy never reached media. The
+                    // dump's own writes would be dropped anyway.
+                    None if s.hier.fault_tripped() => None,
+                    None => panic!("indexed record must decode"),
+                }
             })
             .collect();
         (entries, dumped)
     };
     if !entries.is_empty() {
-        s.storage.ingest(&entries).expect("L0 ingest");
+        if let Err(e) = s.storage.ingest(&entries) {
+            // A trip mid-dump blackholes the new table's bytes, which then
+            // fail their read-back; abandon the dump — nothing below would
+            // persist either.
+            if s.hier.fault_tripped() {
+                return;
+            }
+            panic!("L0 ingest: {e:?}");
+        }
     }
     let mut m = s.mem.write();
     // Concurrent flushes may have added new gens; only retire what we
     // dumped, and rebuild the flush log to cover the survivors.
+    let mut retired = Vec::with_capacity(dumped_gens.len());
     for gen in &dumped_gens {
         if let Some((base, len)) = m.gen_regions.remove(gen) {
-            s.alloc.free(base, len);
+            retired.push((base, len));
             m.flushed_bytes -= len;
         }
     }
     m.flushed.retain(|ft| !dumped_gens.contains(&ft.gen));
     m.global = None;
     let (pool_base, pool_len) = s.pool.region();
-    let survivors: Vec<(u64, u64, u64)> =
-        m.flushed.iter().map(|ft| (ft.gen, ft.base, ft.len)).collect();
+    let survivors: Vec<(u64, u64, u64)> = m
+        .flushed
+        .iter()
+        .map(|ft| (ft.gen, ft.base, ft.len))
+        .collect();
     s.flushlog.reset_with(pool_base, pool_len, &survivors);
+    // Only return the dumped regions to the allocator once the new log is
+    // published: until then the *old* log still references them, and a
+    // crash would have recovery reading regions a concurrent flush had
+    // already reused.
+    for (base, len) in retired {
+        s.alloc.free(base, len);
+    }
 }
 
 #[cfg(test)]
@@ -710,14 +792,28 @@ mod tests {
 
     #[test]
     fn put_get_delete_roundtrip() {
-        for t in [Techniques::pcsm(), Techniques::pcsm_liu(), Techniques::all()] {
+        for t in [
+            Techniques::pcsm(),
+            Techniques::pcsm_liu(),
+            Techniques::all(),
+        ] {
             let db = store(t);
             db.put(b"alpha", b"1").unwrap();
             db.put(b"beta", b"2").unwrap();
-            assert_eq!(db.get(b"alpha").unwrap(), Some(b"1".to_vec()), "{}", db.name());
+            assert_eq!(
+                db.get(b"alpha").unwrap(),
+                Some(b"1".to_vec()),
+                "{}",
+                db.name()
+            );
             db.delete(b"alpha").unwrap();
             assert_eq!(db.get(b"alpha").unwrap(), None, "{}", db.name());
-            assert_eq!(db.get(b"beta").unwrap(), Some(b"2".to_vec()), "{}", db.name());
+            assert_eq!(
+                db.get(b"beta").unwrap(),
+                Some(b"2".to_vec()),
+                "{}",
+                db.name()
+            );
             assert_eq!(db.get(b"gamma").unwrap(), None, "{}", db.name());
         }
     }
@@ -727,7 +823,11 @@ mod tests {
         let db = store(Techniques::all());
         for round in 0..5u32 {
             for i in 0..200u32 {
-                db.put(format!("k{i:04}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+                db.put(
+                    format!("k{i:04}").as_bytes(),
+                    format!("r{round}").as_bytes(),
+                )
+                .unwrap();
             }
         }
         assert_eq!(db.get(b"k0042").unwrap(), Some(b"r4".to_vec()));
@@ -743,7 +843,11 @@ mod tests {
         }
         db.quiesce();
         let tables: usize = db.storage().level_tables().iter().sum();
-        assert!(tables > 0, "L0 dump happened: {:?}", db.storage().level_tables());
+        assert!(
+            tables > 0,
+            "L0 dump happened: {:?}",
+            db.storage().level_tables()
+        );
         // Every key still readable from wherever it landed.
         for i in (0..30_000u32).step_by(997) {
             assert_eq!(
@@ -773,8 +877,14 @@ mod tests {
                 // Read back a key written a while ago (different subtable
                 // generation) and the one just written.
                 let probe = format!("key{:08}", i / 2);
-                assert_eq!(db.get(probe.as_bytes()).unwrap(), Some(probe.clone().into_bytes()));
-                assert_eq!(db.get(key.as_bytes()).unwrap(), Some(key.clone().into_bytes()));
+                assert_eq!(
+                    db.get(probe.as_bytes()).unwrap(),
+                    Some(probe.clone().into_bytes())
+                );
+                assert_eq!(
+                    db.get(key.as_bytes()).unwrap(),
+                    Some(key.clone().into_bytes())
+                );
             }
         }
     }
@@ -799,7 +909,11 @@ mod tests {
         for t in 0..4u32 {
             for i in (0..2_000u32).step_by(397) {
                 let k = format!("t{t}k{i:06}");
-                assert_eq!(db.get(k.as_bytes()).unwrap(), Some(k.clone().into_bytes()), "{k}");
+                assert_eq!(
+                    db.get(k.as_bytes()).unwrap(),
+                    Some(k.clone().into_bytes()),
+                    "{k}"
+                );
             }
         }
     }
@@ -864,7 +978,11 @@ mod tests {
         {
             let db = CacheKv::create(h.clone(), CacheKvConfig::test_small());
             for i in 0..8_000u32 {
-                db.put(format!("key{i:08}").as_bytes(), format!("val{i}").as_bytes()).unwrap();
+                db.put(
+                    format!("key{i:08}").as_bytes(),
+                    format!("val{i}").as_bytes(),
+                )
+                .unwrap();
             }
             // No quiesce: crash with data spread over active sub-MemTables,
             // sealing tables, flushed tables, and possibly L0.
@@ -907,7 +1025,10 @@ mod tests {
         }
         db.quiesce();
         let (_, pending, global_keys, _) = db.memory_stats();
-        assert_eq!(pending, 0, "all flushed tables folded into the global skiplist");
+        assert_eq!(
+            pending, 0,
+            "all flushed tables folded into the global skiplist"
+        );
         // Either everything was dumped to L0 (global reset) or the global
         // index holds keys; both are healthy post-quiesce states.
         let l0: usize = db.storage().level_tables().iter().sum();
@@ -920,7 +1041,10 @@ mod tests {
         for i in 0..500u32 {
             db.put(format!("k{i:05}").as_bytes(), b"v").unwrap();
             // Diligent mode: index always current, reads never trigger sync.
-            assert_eq!(db.get(format!("k{i:05}").as_bytes()).unwrap(), Some(b"v".to_vec()));
+            assert_eq!(
+                db.get(format!("k{i:05}").as_bytes()).unwrap(),
+                Some(b"v".to_vec())
+            );
         }
     }
 
@@ -936,7 +1060,11 @@ mod tests {
         let s = h.pmem_stats();
         // The dominant device traffic is streaming copies + table builds:
         // sequential, so the XPBuffer combines 3 of every 4 cachelines.
-        assert!(s.write_hit_ratio() > 0.6, "hit ratio {:.2}", s.write_hit_ratio());
+        assert!(
+            s.write_hit_ratio() > 0.6,
+            "hit ratio {:.2}",
+            s.write_hit_ratio()
+        );
         assert!(
             s.write_amplification() < 1.5,
             "write amp {:.2}",

@@ -125,7 +125,8 @@ impl SubTable {
     /// Reset the header to an empty `Free` slot (after flush / at pool
     /// creation).
     pub fn reset_free(&self) {
-        self.hier.store_u64(self.base, PackedHeader::new(0, SlotState::Free, 0).0);
+        self.hier
+            .store_u64(self.base, PackedHeader::new(0, SlotState::Free, 0).0);
         self.hier.store_u64(self.base + 8, self.data_capacity());
     }
 
@@ -135,7 +136,10 @@ impl SubTable {
         if h.state() != SlotState::Free {
             return false;
         }
-        self.cas_header(h, PackedHeader::new(h.counter(), SlotState::Allocated, h.tail()))
+        self.cas_header(
+            h,
+            PackedHeader::new(h.counter(), SlotState::Allocated, h.tail()),
+        )
     }
 
     /// `Allocated → Immutable` (owner seals a full table).
@@ -143,7 +147,10 @@ impl SubTable {
         loop {
             let h = self.header();
             debug_assert_eq!(h.state(), SlotState::Allocated);
-            if self.cas_header(h, PackedHeader::new(h.counter(), SlotState::Immutable, h.tail())) {
+            if self.cas_header(
+                h,
+                PackedHeader::new(h.counter(), SlotState::Immutable, h.tail()),
+            ) {
                 return;
             }
         }
@@ -152,7 +159,13 @@ impl SubTable {
     /// Append one record. The record bytes are stored first; the header CAS
     /// publishes them (crash-atomic). Only the owning core calls this, so
     /// the CAS can only race with crash recovery, never another writer.
-    pub fn append(&self, key: &[u8], meta: u64, value: &[u8], scratch: &mut Vec<u8>) -> Result<Append> {
+    pub fn append(
+        &self,
+        key: &[u8],
+        meta: u64,
+        value: &[u8],
+        scratch: &mut Vec<u8>,
+    ) -> Result<Append> {
         let need = record_len(key.len(), value.len()) as u64;
         if need > self.data_capacity() {
             return Err(Error::TooLarge {
@@ -162,7 +175,11 @@ impl SubTable {
             });
         }
         let h = self.header();
-        debug_assert_eq!(h.state(), SlotState::Allocated, "append to unowned sub-MemTable");
+        debug_assert_eq!(
+            h.state(),
+            SlotState::Allocated,
+            "append to unowned sub-MemTable"
+        );
         let off = h.tail();
         if off + need > self.data_capacity() {
             return Ok(Append::Full);
@@ -175,7 +192,8 @@ impl SubTable {
         debug_assert!(swapped, "single-writer header CAS cannot fail");
         // Derived remaining-space field (plain store; not consistency-
         // critical, per the paper it is advisory).
-        self.hier.store_u64(self.base + 8, self.data_capacity() - (off + need));
+        self.hier
+            .store_u64(self.base + 8, self.data_capacity() - (off + need));
         Ok(Append::Ok(off))
     }
 
@@ -208,7 +226,11 @@ mod tests {
 
     #[test]
     fn header_packs_38_2_24() {
-        let h = PackedHeader::new(0x3FF_FFFF_FFFF & ((1 << 38) - 1), SlotState::Immutable, 0xFF_FFFF);
+        let h = PackedHeader::new(
+            0x3FF_FFFF_FFFF & ((1 << 38) - 1),
+            SlotState::Immutable,
+            0xFF_FFFF,
+        );
         assert_eq!(h.counter(), (1 << 38) - 1);
         assert_eq!(h.state(), SlotState::Immutable);
         assert_eq!(h.tail(), 0xFF_FFFF);
@@ -222,7 +244,14 @@ mod tests {
         assert!(st.try_acquire());
         assert!(!st.try_acquire(), "second acquire fails");
         let mut scratch = Vec::new();
-        let r = st.append(b"key1", pack_meta(1, EntryKind::Put), b"value1", &mut scratch).unwrap();
+        let r = st
+            .append(
+                b"key1",
+                pack_meta(1, EntryKind::Put),
+                b"value1",
+                &mut scratch,
+            )
+            .unwrap();
         assert_eq!(r, Append::Ok(0));
         let h = st.header();
         assert_eq!(h.counter(), 1);
@@ -240,8 +269,14 @@ mod tests {
         st.try_acquire();
         let mut scratch = Vec::new();
         let mut appended = 0;
-        while let Append::Ok(_) =
-            st.append(b"key00001", pack_meta(appended, EntryKind::Put), &[7u8; 50], &mut scratch).unwrap()
+        while let Append::Ok(_) = st
+            .append(
+                b"key00001",
+                pack_meta(appended, EntryKind::Put),
+                &[7u8; 50],
+                &mut scratch,
+            )
+            .unwrap()
         {
             appended += 1;
         }
@@ -266,7 +301,8 @@ mod tests {
         let st = slot(4096);
         st.try_acquire();
         let mut scratch = Vec::new();
-        st.append(b"k", pack_meta(1, EntryKind::Put), b"v", &mut scratch).unwrap();
+        st.append(b"k", pack_meta(1, EntryKind::Put), b"v", &mut scratch)
+            .unwrap();
         st.seal();
         assert_eq!(st.header().state(), SlotState::Immutable);
         st.reset_free();
@@ -284,7 +320,13 @@ mod tests {
         st.reset_free();
         st.try_acquire();
         let mut scratch = Vec::new();
-        st.append(b"persist", pack_meta(9, EntryKind::Put), b"me", &mut scratch).unwrap();
+        st.append(
+            b"persist",
+            pack_meta(9, EntryKind::Put),
+            b"me",
+            &mut scratch,
+        )
+        .unwrap();
         let before = st.header();
         hier.power_fail();
         hier.cat_lock(0, 4096);

@@ -40,7 +40,8 @@ fn recovery_with_elastically_split_pool_directory() {
             let db = db.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..2_000u32 {
-                    db.put(format!("t{t}-{i:06}").as_bytes(), &[7u8; 48]).unwrap();
+                    db.put(format!("t{t}-{i:06}").as_bytes(), &[7u8; 48])
+                        .unwrap();
                 }
             }));
         }
@@ -54,7 +55,11 @@ fn recovery_with_elastically_split_pool_directory() {
     h.power_fail();
     let db = CacheKv::recover(h, tiny_cfg()).unwrap();
     // The persisted directory round-trips the (possibly irregular) layout.
-    assert_eq!(db.pool().slot_layout(), layout_before, "split slot geometry survived");
+    assert_eq!(
+        db.pool().slot_layout(),
+        layout_before,
+        "split slot geometry survived"
+    );
     for t in 0..6u32 {
         for i in (0..2_000u32).step_by(333) {
             assert_eq!(
@@ -75,7 +80,11 @@ fn crash_immediately_after_dump_threshold_crossed() {
     {
         let db = CacheKv::create(h.clone(), tiny_cfg());
         for i in 0..n {
-            db.put(format!("key{i:07}").as_bytes(), format!("val{i}").as_bytes()).unwrap();
+            db.put(
+                format!("key{i:07}").as_bytes(),
+                format!("val{i}").as_bytes(),
+            )
+            .unwrap();
         }
         db.quiesce(); // forces compaction + dump
     }
@@ -101,10 +110,17 @@ fn five_crash_cycles_with_overwrites() {
             CacheKv::recover(h.clone(), tiny_cfg()).unwrap()
         };
         for i in 0..600u32 {
-            db.put(format!("k{i:05}").as_bytes(), format!("gen{generation}").as_bytes()).unwrap();
+            db.put(
+                format!("k{i:05}").as_bytes(),
+                format!("gen{generation}").as_bytes(),
+            )
+            .unwrap();
         }
         // Check a previous generation's overwrites are visible pre-crash.
-        assert_eq!(db.get(b"k00300").unwrap(), Some(format!("gen{generation}").into_bytes()));
+        assert_eq!(
+            db.get(b"k00300").unwrap(),
+            Some(format!("gen{generation}").into_bytes())
+        );
         drop(db);
         h.power_fail();
     }
@@ -121,7 +137,10 @@ fn five_crash_cycles_with_overwrites() {
 #[test]
 fn pcsm_variant_recovers_too() {
     // The ablation configurations must share the recovery path.
-    let cfg = CacheKvConfig { techniques: Techniques::pcsm(), ..tiny_cfg() };
+    let cfg = CacheKvConfig {
+        techniques: Techniques::pcsm(),
+        ..tiny_cfg()
+    };
     let h = hier();
     {
         let db = CacheKv::create(h.clone(), cfg.clone());
@@ -144,7 +163,8 @@ fn recovery_is_idempotent_without_new_writes() {
     {
         let db = CacheKv::create(h.clone(), tiny_cfg());
         for i in 0..2_500u32 {
-            db.put(format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            db.put(format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
         }
         for i in 0..50u32 {
             db.delete(format!("k{i:05}").as_bytes()).unwrap();

@@ -74,7 +74,10 @@ impl Bloom {
         if !(1..=30).contains(&k) {
             return None;
         }
-        Some(Bloom { bits: data[4..].to_vec(), k })
+        Some(Bloom {
+            bits: data[4..].to_vec(),
+            k,
+        })
     }
 
     /// Size of the encoded filter.

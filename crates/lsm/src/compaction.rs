@@ -20,7 +20,11 @@ pub struct CompactionPolicy {
 
 impl Default for CompactionPolicy {
     fn default() -> Self {
-        CompactionPolicy { l0_trigger: 4, level_base_bytes: 8 << 20, level_multiplier: 10 }
+        CompactionPolicy {
+            l0_trigger: 4,
+            level_base_bytes: 8 << 20,
+            level_multiplier: 10,
+        }
     }
 }
 
@@ -43,7 +47,11 @@ pub struct CompactionJob {
 impl CompactionJob {
     /// Total input bytes.
     pub fn input_bytes(&self) -> u64 {
-        self.inputs_lo.iter().chain(&self.inputs_hi).map(|t| t.meta.len).sum()
+        self.inputs_lo
+            .iter()
+            .chain(&self.inputs_hi)
+            .map(|t| t.meta.len)
+            .sum()
     }
 }
 
@@ -56,14 +64,22 @@ pub fn pick_compaction(version: &Version, policy: &CompactionPolicy) -> Option<C
         let lo = inputs_lo.iter().map(|t| t.meta.smallest.clone()).min()?;
         let hi = inputs_lo.iter().map(|t| t.meta.largest.clone()).max()?;
         let inputs_hi = version.overlapping(1, &lo, &hi);
-        return Some(CompactionJob { level: 0, inputs_lo, inputs_hi });
+        return Some(CompactionJob {
+            level: 0,
+            inputs_lo,
+            inputs_hi,
+        });
     }
     for level in 1..num_levels - 1 {
         if version.level_bytes(level) > policy.level_limit(level) {
             // Rotate out the table with the smallest key (simple, fair).
             let t = version.levels[level].first()?.clone();
             let inputs_hi = version.overlapping(level + 1, &t.meta.smallest, &t.meta.largest);
-            return Some(CompactionJob { level, inputs_lo: vec![t], inputs_hi });
+            return Some(CompactionJob {
+                level,
+                inputs_lo: vec![t],
+                inputs_hi,
+            });
         }
     }
     None
@@ -88,7 +104,12 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert to pop smallest internal key.
-        internal_cmp(&other.entry.key, other.entry.meta, &self.entry.key, self.entry.meta)
+        internal_cmp(
+            &other.entry.key,
+            other.entry.meta,
+            &self.entry.key,
+            self.entry.meta,
+        )
     }
 }
 
@@ -117,7 +138,10 @@ impl<I: Iterator<Item = Entry>> Iterator for MergeIter<I> {
     fn next(&mut self) -> Option<Entry> {
         let top = self.heap.pop()?;
         if let Some(next) = self.sources[top.src].next() {
-            self.heap.push(HeapItem { entry: next, src: top.src });
+            self.heap.push(HeapItem {
+                entry: next,
+                src: top.src,
+            });
         }
         Some(top.entry)
     }
@@ -198,7 +222,11 @@ mod tests {
 
     #[test]
     fn tombstones_kept_mid_tree_dropped_at_bottom() {
-        let del = Entry { key: b"k".to_vec(), meta: pack_meta(9, EntryKind::Delete), value: vec![] };
+        let del = Entry {
+            key: b"k".to_vec(),
+            meta: pack_meta(9, EntryKind::Delete),
+            value: vec![],
+        };
         let merged = vec![del.clone(), e("k", 1, "old")];
         let kept = dedup_newest(merged.clone().into_iter(), false);
         assert_eq!(kept.len(), 1);
@@ -209,7 +237,9 @@ mod tests {
 
     #[test]
     fn split_respects_target() {
-        let entries: Vec<Entry> = (0..100).map(|i| e(&format!("k{i:03}"), i, "0123456789")).collect();
+        let entries: Vec<Entry> = (0..100)
+            .map(|i| e(&format!("k{i:03}"), i, "0123456789"))
+            .collect();
         let outs = split_outputs(entries, 200);
         assert!(outs.len() > 5);
         let total: usize = outs.iter().map(|o| o.len()).sum();
@@ -221,7 +251,11 @@ mod tests {
 
     #[test]
     fn policy_limits_scale_by_multiplier() {
-        let p = CompactionPolicy { l0_trigger: 4, level_base_bytes: 10, level_multiplier: 10 };
+        let p = CompactionPolicy {
+            l0_trigger: 4,
+            level_base_bytes: 10,
+            level_multiplier: 10,
+        };
         assert_eq!(p.level_limit(1), 10);
         assert_eq!(p.level_limit(2), 100);
         assert_eq!(p.level_limit(3), 1000);

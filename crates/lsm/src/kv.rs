@@ -8,7 +8,11 @@ pub enum Error {
     /// Persistent space exhausted.
     OutOfSpace(String),
     /// A key or value exceeded a structural limit.
-    TooLarge { what: &'static str, len: usize, max: usize },
+    TooLarge {
+        what: &'static str,
+        len: usize,
+        max: usize,
+    },
     /// Corrupt on-media structure detected (bad CRC, bad magic, ...).
     Corruption(String),
     /// The store has been shut down.
@@ -82,12 +86,20 @@ pub struct Entry {
 impl Entry {
     /// Build a live entry.
     pub fn put(key: impl Into<Vec<u8>>, seq: u64, value: impl Into<Vec<u8>>) -> Self {
-        Entry { key: key.into(), meta: pack_meta(seq, EntryKind::Put), value: value.into() }
+        Entry {
+            key: key.into(),
+            meta: pack_meta(seq, EntryKind::Put),
+            value: value.into(),
+        }
     }
 
     /// Build a tombstone.
     pub fn delete(key: impl Into<Vec<u8>>, seq: u64) -> Self {
-        Entry { key: key.into(), meta: pack_meta(seq, EntryKind::Delete), value: Vec::new() }
+        Entry {
+            key: key.into(),
+            meta: pack_meta(seq, EntryKind::Delete),
+            value: Vec::new(),
+        }
     }
 
     /// The entry's kind.

@@ -49,7 +49,9 @@ pub struct DramSpace {
 impl DramSpace {
     /// Allocate `capacity` zeroed bytes.
     pub fn new(capacity: usize) -> Self {
-        DramSpace { bytes: RwLock::new(vec![0u8; capacity]) }
+        DramSpace {
+            bytes: RwLock::new(vec![0u8; capacity]),
+        }
     }
 }
 
@@ -93,7 +95,12 @@ pub struct PmemSpace {
 impl PmemSpace {
     /// Wrap `[base, base+len)` of the hierarchy with a flush discipline.
     pub fn new(hier: Arc<Hierarchy>, base: u64, len: u64, mode: FlushMode) -> Self {
-        PmemSpace { hier, base, len, mode }
+        PmemSpace {
+            hier,
+            base,
+            len,
+            mode,
+        }
     }
 
     /// The underlying hierarchy.
@@ -114,12 +121,18 @@ impl PmemSpace {
 
 impl MemSpace for PmemSpace {
     fn write(&self, off: u64, data: &[u8]) {
-        debug_assert!(off + data.len() as u64 <= self.len, "PmemSpace write out of range");
+        debug_assert!(
+            off + data.len() as u64 <= self.len,
+            "PmemSpace write out of range"
+        );
         self.hier.store(self.base + off, data);
     }
 
     fn read(&self, off: u64, buf: &mut [u8]) {
-        debug_assert!(off + buf.len() as u64 <= self.len, "PmemSpace read out of range");
+        debug_assert!(
+            off + buf.len() as u64 <= self.len,
+            "PmemSpace read out of range"
+        );
         self.hier.load(self.base + off, buf);
     }
 

@@ -1,6 +1,8 @@
 //! MemTable: the in-memory (or in-PMem, or in-cache) write buffer.
 
-use crate::kv::{meta_kind, pack_meta, Entry, EntryKind, Error, Result, MAX_KEY_LEN, MAX_VALUE_LEN};
+use crate::kv::{
+    meta_kind, pack_meta, Entry, EntryKind, Error, Result, MAX_KEY_LEN, MAX_VALUE_LEN,
+};
 use crate::memspace::MemSpace;
 use crate::skiplist::{SkipIter, SkipList};
 
@@ -26,16 +28,27 @@ impl<S: MemSpace> MemTable<S> {
     /// full once the arena has less than one max-sized entry of headroom or
     /// `budget` bytes have been consumed.
     pub fn new(space: S, budget: u64) -> Self {
-        MemTable { list: SkipList::new(space), budget }
+        MemTable {
+            list: SkipList::new(space),
+            budget,
+        }
     }
 
     /// Insert a live entry.
     pub fn put(&mut self, key: &[u8], seq: u64, value: &[u8]) -> Result<()> {
         if key.len() > MAX_KEY_LEN {
-            return Err(Error::TooLarge { what: "key", len: key.len(), max: MAX_KEY_LEN });
+            return Err(Error::TooLarge {
+                what: "key",
+                len: key.len(),
+                max: MAX_KEY_LEN,
+            });
         }
         if value.len() > MAX_VALUE_LEN {
-            return Err(Error::TooLarge { what: "value", len: value.len(), max: MAX_VALUE_LEN });
+            return Err(Error::TooLarge {
+                what: "value",
+                len: value.len(),
+                max: MAX_VALUE_LEN,
+            });
         }
         self.list.insert(key, pack_meta(seq, EntryKind::Put), value)
     }
@@ -43,9 +56,14 @@ impl<S: MemSpace> MemTable<S> {
     /// Insert a tombstone.
     pub fn delete(&mut self, key: &[u8], seq: u64) -> Result<()> {
         if key.len() > MAX_KEY_LEN {
-            return Err(Error::TooLarge { what: "key", len: key.len(), max: MAX_KEY_LEN });
+            return Err(Error::TooLarge {
+                what: "key",
+                len: key.len(),
+                max: MAX_KEY_LEN,
+            });
         }
-        self.list.insert(key, pack_meta(seq, EntryKind::Delete), b"")
+        self.list
+            .insert(key, pack_meta(seq, EntryKind::Delete), b"")
     }
 
     /// Probe for the newest version of `key`.
@@ -128,7 +146,8 @@ mod tests {
         let mut m = MemTable::new(DramSpace::new(1 << 14), 1024);
         assert!(!m.is_full());
         for seq in 0..40 {
-            m.put(format!("key{seq:03}").as_bytes(), seq, &[7u8; 32]).unwrap();
+            m.put(format!("key{seq:03}").as_bytes(), seq, &[7u8; 32])
+                .unwrap();
         }
         assert!(m.is_full());
     }
@@ -137,14 +156,20 @@ mod tests {
     fn oversized_key_rejected() {
         let mut m = mt(1 << 14);
         let big = vec![0u8; MAX_KEY_LEN + 1];
-        assert!(matches!(m.put(&big, 1, b"v"), Err(Error::TooLarge { what: "key", .. })));
+        assert!(matches!(
+            m.put(&big, 1, b"v"),
+            Err(Error::TooLarge { what: "key", .. })
+        ));
     }
 
     #[test]
     fn oversized_value_rejected() {
         let mut m = MemTable::new(DramSpace::new(4 << 20), 4 << 20);
         let big = vec![0u8; MAX_VALUE_LEN + 1];
-        assert!(matches!(m.put(b"k", 1, &big), Err(Error::TooLarge { what: "value", .. })));
+        assert!(matches!(
+            m.put(b"k", 1, &big),
+            Err(Error::TooLarge { what: "value", .. })
+        ));
     }
 
     #[test]

@@ -52,7 +52,12 @@ impl<S: MemSpace> SkipList<S> {
 
     /// Build with an explicit height-RNG seed (deterministic tests).
     pub fn with_seed(space: S, seed: u64) -> Self {
-        let mut list = SkipList { space, tail: HEAD_OFF, len: 0, rng: seed | 1 };
+        let mut list = SkipList {
+            space,
+            tail: HEAD_OFF,
+            len: 0,
+            rng: seed | 1,
+        };
         // Head node: max height, empty key, null next pointers.
         let head_size = HDR + (MAX_HEIGHT as u64) * 4;
         let mut hdr = [0u8; HDR as usize];
@@ -68,7 +73,12 @@ impl<S: MemSpace> SkipList<S> {
     /// by a previous incarnation (crash recovery). `tail` and `len` must
     /// come from a trusted source (e.g. CacheKV's persistent counters).
     pub fn reopen(space: S, tail: u64, len: usize) -> Self {
-        SkipList { space, tail, len, rng: 0x9E37_79B9_7F4A_7C15 }
+        SkipList {
+            space,
+            tail,
+            len,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Number of entries (including shadowed versions).
@@ -111,7 +121,10 @@ impl<S: MemSpace> SkipList<S> {
 
     fn node_value(&self, n: &NodeRef) -> Vec<u8> {
         let mut v = vec![0u8; n.val_len];
-        self.space.read(n.off + HDR + (n.height as u64) * 4 + n.key_len as u64, &mut v);
+        self.space.read(
+            n.off + HDR + (n.height as u64) * 4 + n.key_len as u64,
+            &mut v,
+        );
         v
     }
 
@@ -123,7 +136,10 @@ impl<S: MemSpace> SkipList<S> {
 
     fn set_next(&self, node_off: u64, level: usize, target: u64) {
         debug_assert!(target <= u32::MAX as u64);
-        self.space.write(node_off + HDR + (level as u64) * 4, &(target as u32).to_le_bytes());
+        self.space.write(
+            node_off + HDR + (level as u64) * 4,
+            &(target as u32).to_le_bytes(),
+        );
         self.space.persist(node_off + HDR + (level as u64) * 4, 4);
     }
 
@@ -196,7 +212,8 @@ impl<S: MemSpace> SkipList<S> {
         }
         self.space.write(off + HDR, &nexts);
         self.space.write(off + HDR + (height as u64) * 4, key);
-        self.space.write(off + HDR + (height as u64) * 4 + key.len() as u64, value);
+        self.space
+            .write(off + HDR + (height as u64) * 4 + key.len() as u64, value);
         self.space.persist(off, node_size as usize);
 
         // ...then publish it bottom-up (crash-safe link order).
@@ -225,7 +242,10 @@ impl<S: MemSpace> SkipList<S> {
 
     /// Iterate all entries in internal order (key asc, newest first).
     pub fn iter(&self) -> SkipIter<'_, S> {
-        SkipIter { list: self, cur: self.next(HEAD_OFF, MAX_HEIGHT, 0) }
+        SkipIter {
+            list: self,
+            cur: self.next(HEAD_OFF, MAX_HEIGHT, 0),
+        }
     }
 
     /// Sanity check: entries are in strict internal order (tests/fuzzing).
@@ -260,7 +280,11 @@ impl<S: MemSpace> Iterator for SkipIter<'_, S> {
         let key = self.list.node_key(&node);
         let value = self.list.node_value(&node);
         self.cur = self.list.next(node.off, node.height, 0);
-        Some(Entry { key, meta: node.meta, value })
+        Some(Entry {
+            key,
+            meta: node.meta,
+            value,
+        })
     }
 }
 
@@ -277,8 +301,10 @@ mod tests {
     #[test]
     fn insert_and_get() {
         let mut l = list(1 << 16);
-        l.insert(b"bob", pack_meta(1, EntryKind::Put), b"1").unwrap();
-        l.insert(b"alice", pack_meta(2, EntryKind::Put), b"2").unwrap();
+        l.insert(b"bob", pack_meta(1, EntryKind::Put), b"1")
+            .unwrap();
+        l.insert(b"alice", pack_meta(2, EntryKind::Put), b"2")
+            .unwrap();
         let (_, v) = l.get_latest(b"alice").unwrap();
         assert_eq!(v, b"2");
         assert!(l.get_latest(b"carol").is_none());
@@ -288,9 +314,12 @@ mod tests {
     #[test]
     fn newest_version_wins() {
         let mut l = list(1 << 16);
-        l.insert(b"k", pack_meta(1, EntryKind::Put), b"old").unwrap();
-        l.insert(b"k", pack_meta(5, EntryKind::Put), b"new").unwrap();
-        l.insert(b"k", pack_meta(3, EntryKind::Put), b"mid").unwrap();
+        l.insert(b"k", pack_meta(1, EntryKind::Put), b"old")
+            .unwrap();
+        l.insert(b"k", pack_meta(5, EntryKind::Put), b"new")
+            .unwrap();
+        l.insert(b"k", pack_meta(3, EntryKind::Put), b"mid")
+            .unwrap();
         let (meta, v) = l.get_latest(b"k").unwrap();
         assert_eq!(v, b"new");
         assert_eq!(crate::kv::meta_seq(meta), 5);
@@ -300,7 +329,8 @@ mod tests {
     fn tombstone_is_visible_as_latest() {
         let mut l = list(1 << 16);
         l.insert(b"k", pack_meta(1, EntryKind::Put), b"v").unwrap();
-        l.insert(b"k", pack_meta(2, EntryKind::Delete), b"").unwrap();
+        l.insert(b"k", pack_meta(2, EntryKind::Delete), b"")
+            .unwrap();
         let (meta, _) = l.get_latest(b"k").unwrap();
         assert_eq!(crate::kv::meta_kind(meta), EntryKind::Delete);
     }
@@ -310,10 +340,20 @@ mod tests {
         let mut l = list(1 << 18);
         let keys = [b"d", b"a", b"c", b"b", b"e"];
         for (i, k) in keys.iter().enumerate() {
-            l.insert(*k, pack_meta(i as u64, EntryKind::Put), b"v").unwrap();
+            l.insert(*k, pack_meta(i as u64, EntryKind::Put), b"v")
+                .unwrap();
         }
         let got: Vec<Vec<u8>> = l.iter().map(|e| e.key).collect();
-        assert_eq!(got, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec(), b"e".to_vec()]);
+        assert_eq!(
+            got,
+            vec![
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"c".to_vec(),
+                b"d".to_vec(),
+                b"e".to_vec()
+            ]
+        );
         assert!(l.check_ordered());
     }
 
@@ -324,7 +364,8 @@ mod tests {
         let mut l = list(1 << 20);
         for seq in 0..2000u64 {
             let key = format!("key{:05}", rng.gen_range(0..500));
-            l.insert(key.as_bytes(), pack_meta(seq, EntryKind::Put), b"payload").unwrap();
+            l.insert(key.as_bytes(), pack_meta(seq, EntryKind::Put), b"payload")
+                .unwrap();
         }
         assert_eq!(l.len(), 2000);
         assert!(l.check_ordered());
@@ -335,7 +376,9 @@ mod tests {
         let mut l = list(256);
         let mut filled = false;
         for seq in 0..100 {
-            if l.insert(b"key", pack_meta(seq, EntryKind::Put), &[0u8; 32]).is_err() {
+            if l.insert(b"key", pack_meta(seq, EntryKind::Put), &[0u8; 32])
+                .is_err()
+            {
                 filled = true;
                 break;
             }
@@ -364,8 +407,18 @@ mod tests {
         let mut a = SkipList::with_seed(DramSpace::new(1 << 14), 42);
         let mut b = SkipList::with_seed(DramSpace::new(1 << 14), 42);
         for seq in 0..50 {
-            a.insert(format!("k{seq}").as_bytes(), pack_meta(seq, EntryKind::Put), b"v").unwrap();
-            b.insert(format!("k{seq}").as_bytes(), pack_meta(seq, EntryKind::Put), b"v").unwrap();
+            a.insert(
+                format!("k{seq}").as_bytes(),
+                pack_meta(seq, EntryKind::Put),
+                b"v",
+            )
+            .unwrap();
+            b.insert(
+                format!("k{seq}").as_bytes(),
+                pack_meta(seq, EntryKind::Put),
+                b"v",
+            )
+            .unwrap();
         }
         assert_eq!(a.arena_used(), b.arena_used());
     }

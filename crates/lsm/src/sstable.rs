@@ -37,7 +37,10 @@ pub struct TableOptions {
 
 impl Default for TableOptions {
     fn default() -> Self {
-        TableOptions { block_size: 4096, bloom_bits_per_key: 10 }
+        TableOptions {
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+        }
     }
 }
 
@@ -77,12 +80,20 @@ pub fn encode_table(entries: &[Entry], opts: &TableOptions) -> (Vec<u8>, Vec<Blo
         data.extend_from_slice(&e.value);
         last_key_in_block = e.key.clone();
         if data.len() - block_start >= opts.block_size {
-            index.push((block_start as u64, (data.len() - block_start) as u32, last_key_in_block.clone()));
+            index.push((
+                block_start as u64,
+                (data.len() - block_start) as u32,
+                last_key_in_block.clone(),
+            ));
             block_start = data.len();
         }
     }
     if data.len() > block_start {
-        index.push((block_start as u64, (data.len() - block_start) as u32, last_key_in_block));
+        index.push((
+            block_start as u64,
+            (data.len() - block_start) as u32,
+            last_key_in_block,
+        ));
     }
     (data, index)
 }
@@ -99,7 +110,10 @@ pub fn build_table(
     assert!(!entries.is_empty(), "refusing to build an empty table");
     let (mut buf, index) = encode_table(entries, opts);
 
-    let bloom = Bloom::build(entries.iter().map(|e| e.key.as_slice()), opts.bloom_bits_per_key);
+    let bloom = Bloom::build(
+        entries.iter().map(|e| e.key.as_slice()),
+        opts.bloom_bits_per_key,
+    );
     let bloom_off = buf.len() as u64;
     let bloom_bytes = bloom.encode();
     buf.extend_from_slice(&bloom_bytes);
@@ -164,7 +178,10 @@ impl TableHandle {
         let footer = hier.load_vec(meta.base + meta.len - FOOTER as u64, FOOTER);
         let magic = u32::from_le_bytes(footer[FOOTER - 4..].try_into().unwrap());
         if magic != MAGIC {
-            return Err(Error::Corruption(format!("table {}: bad magic {magic:#x}", meta.id)));
+            return Err(Error::Corruption(format!(
+                "table {}: bad magic {magic:#x}",
+                meta.id
+            )));
         }
         let index_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
         let index_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
@@ -187,7 +204,13 @@ impl TableHandle {
             index.push((off, len, key));
             p += 14 + klen;
         }
-        Ok(TableHandle { meta, hier, bloom, index, reclaim: parking_lot::Mutex::new(None) })
+        Ok(TableHandle {
+            meta,
+            hier,
+            bloom,
+            index,
+            reclaim: parking_lot::Mutex::new(None),
+        })
     }
 
     /// Whether `key` is within this table's key range.
@@ -202,7 +225,9 @@ impl TableHandle {
         }
         // First block whose last key >= target: if key exists, its newest
         // version lives there (internal order: newest first).
-        let bi = self.index.partition_point(|(_, _, last)| last.as_slice() < key);
+        let bi = self
+            .index
+            .partition_point(|(_, _, last)| last.as_slice() < key);
         if bi >= self.index.len() {
             return Lookup::NotFound;
         }
@@ -231,7 +256,9 @@ impl TableHandle {
         if !self.overlaps_key(key) || !self.bloom.may_contain(key) {
             return None;
         }
-        let bi = self.index.partition_point(|(_, _, last)| last.as_slice() < key);
+        let bi = self
+            .index
+            .partition_point(|(_, _, last)| last.as_slice() < key);
         if bi >= self.index.len() {
             return None;
         }
@@ -249,7 +276,12 @@ impl TableHandle {
 
     /// Iterate every entry in internal order (for compaction merges).
     pub fn iter(&self) -> TableIter<'_> {
-        TableIter { table: self, block_idx: 0, block: Vec::new(), pos: 0 }
+        TableIter {
+            table: self,
+            block_idx: 0,
+            block: Vec::new(),
+            pos: 0,
+        }
     }
 
     /// Arrange for the table's space to return to `alloc` when the last
@@ -315,7 +347,10 @@ impl Iterator for TableIter<'_> {
     fn next(&mut self) -> Option<Entry> {
         loop {
             if self.pos < self.block.len() {
-                let mut it = BlockIter { data: &self.block, pos: self.pos };
+                let mut it = BlockIter {
+                    data: &self.block,
+                    pos: self.pos,
+                };
                 if let Some(e) = it.next() {
                     self.pos = it.pos;
                     return Some(e);
@@ -325,7 +360,10 @@ impl Iterator for TableIter<'_> {
                 return None;
             }
             let (off, len, _) = &self.table.index[self.block_idx];
-            self.block = self.table.hier.load_vec(self.table.meta.base + off, *len as usize);
+            self.block = self
+                .table
+                .hier
+                .load_vec(self.table.meta.base + off, *len as usize);
             self.pos = 0;
             self.block_idx += 1;
         }
@@ -340,9 +378,9 @@ mod tests {
     use cachekv_pmem::{PmemConfig, PmemDevice};
 
     fn setup() -> (Arc<Hierarchy>, Arc<PmemAllocator>) {
-        let dev = Arc::new(PmemDevice::new(PmemConfig::paper_scaled().with_latency(
-            cachekv_pmem::LatencyConfig::zero(),
-        )));
+        let dev = Arc::new(PmemDevice::new(
+            PmemConfig::paper_scaled().with_latency(cachekv_pmem::LatencyConfig::zero()),
+        ));
         let cap = dev.capacity();
         let hier = Arc::new(Hierarchy::new(dev, CacheConfig::small()));
         (hier, Arc::new(PmemAllocator::new(0, cap)))
@@ -368,10 +406,7 @@ mod tests {
     #[test]
     fn tombstones_surface() {
         let (hier, alloc) = setup();
-        let entries = vec![
-            Entry::delete("aaa", 9),
-            Entry::put("bbb", 8, "live"),
-        ];
+        let entries = vec![Entry::delete("aaa", 9), Entry::put("bbb", 8, "live")];
         let meta = build_table(&hier, &alloc, 1, &entries, &TableOptions::default()).unwrap();
         let t = TableHandle::open(hier, meta).unwrap();
         assert_eq!(t.get(b"aaa"), Lookup::Tombstone);
@@ -390,7 +425,10 @@ mod tests {
                 value: format!("v{seq}").into_bytes().repeat(8),
             });
         }
-        let opts = TableOptions { block_size: 256, bloom_bits_per_key: 10 };
+        let opts = TableOptions {
+            block_size: 256,
+            bloom_bits_per_key: 10,
+        };
         let meta = build_table(&hier, &alloc, 1, &entries, &opts).unwrap();
         let t = TableHandle::open(hier, meta).unwrap();
         assert_eq!(t.get(b"hot"), Lookup::Found(b"v200".to_vec().repeat(8)));
@@ -400,7 +438,10 @@ mod tests {
     fn iter_yields_all_in_order() {
         let (hier, alloc) = setup();
         let entries = sorted_entries(300);
-        let opts = TableOptions { block_size: 512, bloom_bits_per_key: 10 };
+        let opts = TableOptions {
+            block_size: 512,
+            bloom_bits_per_key: 10,
+        };
         let meta = build_table(&hier, &alloc, 1, &entries, &opts).unwrap();
         let t = TableHandle::open(hier, meta).unwrap();
         let got: Vec<Entry> = t.iter().collect();
@@ -426,7 +467,10 @@ mod tests {
         let mut meta = build_table(&hier, &alloc, 1, &entries, &TableOptions::default()).unwrap();
         // Truncate so the footer read lands on data bytes.
         meta.len -= 8;
-        assert!(matches!(TableHandle::open(hier, meta), Err(Error::Corruption(_))));
+        assert!(matches!(
+            TableHandle::open(hier, meta),
+            Err(Error::Corruption(_))
+        ));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! Sorted runs are ingested into `L0`; background (or inline) compaction
 //! keeps level sizes within policy.
 
-use crate::compaction::{dedup_newest, pick_compaction, split_outputs, CompactionJob, CompactionPolicy, MergeIter};
+use crate::compaction::{
+    dedup_newest, pick_compaction, split_outputs, CompactionJob, CompactionPolicy, MergeIter,
+};
 use crate::kv::{Entry, Result};
 use crate::memtable::Lookup;
 use crate::sstable::{build_table, TableOptions};
@@ -49,10 +51,17 @@ impl StorageConfig {
     /// A small config for tests: tiny levels, inline compaction.
     pub fn test_small() -> Self {
         StorageConfig {
-            policy: CompactionPolicy { l0_trigger: 2, level_base_bytes: 16 << 10, level_multiplier: 4 },
+            policy: CompactionPolicy {
+                l0_trigger: 2,
+                level_base_bytes: 16 << 10,
+                level_multiplier: 4,
+            },
             num_levels: 4,
             table_target_bytes: 8 << 10,
-            table_opts: TableOptions { block_size: 1024, bloom_bits_per_key: 10 },
+            table_opts: TableOptions {
+                block_size: 1024,
+                bloom_bits_per_key: 10,
+            },
             background: false,
         }
     }
@@ -109,14 +118,19 @@ impl StorageComponent {
         });
         let worker = if shared.cfg.background {
             let s = shared.clone();
-            Some(std::thread::Builder::new()
-                .name("lsm-compaction".into())
-                .spawn(move || compaction_loop(&s))
-                .expect("spawn compaction thread"))
+            Some(
+                std::thread::Builder::new()
+                    .name("lsm-compaction".into())
+                    .spawn(move || compaction_loop(&s))
+                    .expect("spawn compaction thread"),
+            )
         } else {
             None
         };
-        StorageComponent { shared, worker: Mutex::new(worker) }
+        StorageComponent {
+            shared,
+            worker: Mutex::new(worker),
+        }
     }
 
     /// The version set (sequence numbers, snapshots).
@@ -131,8 +145,15 @@ impl StorageComponent {
         }
         let s = &self.shared;
         let id = s.vset.new_table_id();
-        let meta = build_table(s.vset.hierarchy(), s.vset.allocator(), id, entries, &s.cfg.table_opts)?;
-        s.vset.apply(vec![VersionEdit::AddTable { level: 0, meta }])?;
+        let meta = build_table(
+            s.vset.hierarchy(),
+            s.vset.allocator(),
+            id,
+            entries,
+            &s.cfg.table_opts,
+        )?;
+        s.vset
+            .apply(vec![VersionEdit::AddTable { level: 0, meta }])?;
         self.maybe_compact();
         Ok(())
     }
@@ -197,7 +218,18 @@ impl StorageComponent {
             s.idle.notify_all();
         } else {
             while let Some(job) = pick_compaction(&s.vset.current(), &s.cfg.policy) {
-                run_compaction(s, job).expect("inline compaction failed");
+                // After a simulated power failure writes are blackholed, so
+                // freshly "written" tables read back as garbage; a powered
+                // off machine compacts nothing.
+                if s.vset.hierarchy().fault_tripped() {
+                    break;
+                }
+                if let Err(e) = run_compaction(s, job) {
+                    if s.vset.hierarchy().fault_tripped() {
+                        break;
+                    }
+                    panic!("inline compaction failed: {e:?}");
+                }
             }
         }
     }
@@ -276,14 +308,29 @@ fn run_compaction(s: &Shared, job: CompactionJob) -> Result<()> {
     let mut edits = Vec::new();
     for chunk in split_outputs(deduped, s.cfg.table_target_bytes) {
         let id = s.vset.new_table_id();
-        let meta = build_table(s.vset.hierarchy(), s.vset.allocator(), id, &chunk, &s.cfg.table_opts)?;
-        edits.push(VersionEdit::AddTable { level: out_level as u32, meta });
+        let meta = build_table(
+            s.vset.hierarchy(),
+            s.vset.allocator(),
+            id,
+            &chunk,
+            &s.cfg.table_opts,
+        )?;
+        edits.push(VersionEdit::AddTable {
+            level: out_level as u32,
+            meta,
+        });
     }
     for t in &job.inputs_lo {
-        edits.push(VersionEdit::RemoveTable { level: job.level as u32, id: t.meta.id });
+        edits.push(VersionEdit::RemoveTable {
+            level: job.level as u32,
+            id: t.meta.id,
+        });
     }
     for t in &job.inputs_hi {
-        edits.push(VersionEdit::RemoveTable { level: out_level as u32, id: t.meta.id });
+        edits.push(VersionEdit::RemoveTable {
+            level: out_level as u32,
+            id: t.meta.id,
+        });
     }
     s.vset.apply(edits)
 }
@@ -307,7 +354,15 @@ mod tests {
     }
 
     fn run(lo: usize, hi: usize, seq_base: u64) -> Vec<Entry> {
-        (lo..hi).map(|i| Entry::put(format!("k{i:06}"), seq_base + i as u64, format!("v{seq_base}-{i}"))).collect()
+        (lo..hi)
+            .map(|i| {
+                Entry::put(
+                    format!("k{i:06}"),
+                    seq_base + i as u64,
+                    format!("v{seq_base}-{i}"),
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -334,11 +389,17 @@ mod tests {
         }
         let tables = sc.level_tables();
         assert!(tables[0] < 2, "L0 drained by compaction: {tables:?}");
-        assert!(tables.iter().skip(1).any(|&n| n > 0), "data moved deeper: {tables:?}");
+        assert!(
+            tables.iter().skip(1).any(|&n| n > 0),
+            "data moved deeper: {tables:?}"
+        );
         // Latest round wins for every key.
         for i in (0..400).step_by(37) {
             let key = format!("k{i:06}");
-            assert_eq!(sc.get(key.as_bytes()), Lookup::Found(format!("v7000-{i}").into_bytes()));
+            assert_eq!(
+                sc.get(key.as_bytes()),
+                Lookup::Found(format!("v7000-{i}").into_bytes())
+            );
         }
     }
 
@@ -346,7 +407,9 @@ mod tests {
     fn tombstones_disappear_at_bottom_level() {
         let sc = setup(false);
         sc.ingest(&run(0, 100, 1)).unwrap();
-        let dels: Vec<Entry> = (0..100).map(|i| Entry::delete(format!("k{i:06}"), 1_000 + i as u64)).collect();
+        let dels: Vec<Entry> = (0..100)
+            .map(|i| Entry::delete(format!("k{i:06}"), 1_000 + i as u64))
+            .collect();
         sc.ingest(&dels).unwrap();
         // Force everything down with more churn.
         for round in 2..10u64 {

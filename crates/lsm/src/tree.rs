@@ -36,7 +36,10 @@ impl PmemLayout {
     pub fn standard(capacity: u64) -> Self {
         let manifest_cap = 1 << 20;
         let wal_cap = 16 << 20;
-        assert!(capacity > manifest_cap + wal_cap + (1 << 20), "device too small");
+        assert!(
+            capacity > manifest_cap + wal_cap + (1 << 20),
+            "device too small"
+        );
         PmemLayout {
             manifest_base: 0,
             manifest_cap,
@@ -59,14 +62,20 @@ pub struct LsmConfig {
 
 impl Default for LsmConfig {
     fn default() -> Self {
-        LsmConfig { memtable_bytes: 8 << 20, storage: StorageConfig::default() }
+        LsmConfig {
+            memtable_bytes: 8 << 20,
+            storage: StorageConfig::default(),
+        }
     }
 }
 
 impl LsmConfig {
     /// Small config for tests.
     pub fn test_small() -> Self {
-        LsmConfig { memtable_bytes: 32 << 10, storage: StorageConfig::test_small() }
+        LsmConfig {
+            memtable_bytes: 32 << 10,
+            storage: StorageConfig::test_small(),
+        }
     }
 }
 
@@ -85,13 +94,22 @@ fn decode_wal(b: &[u8]) -> Result<(EntryKind, u64, Vec<u8>, Vec<u8>)> {
     if b.len() < 11 {
         return Err(Error::Corruption("WAL record truncated".into()));
     }
-    let kind = if b[0] == 1 { EntryKind::Put } else { EntryKind::Delete };
+    let kind = if b[0] == 1 {
+        EntryKind::Put
+    } else {
+        EntryKind::Delete
+    };
     let seq = u64::from_le_bytes(b[1..9].try_into().unwrap());
     let klen = u16::from_le_bytes(b[9..11].try_into().unwrap()) as usize;
     if b.len() < 11 + klen {
         return Err(Error::Corruption("WAL record truncated".into()));
     }
-    Ok((kind, seq, b[11..11 + klen].to_vec(), b[11 + klen..].to_vec()))
+    Ok((
+        kind,
+        seq,
+        b[11..11 + klen].to_vec(),
+        b[11 + klen..].to_vec(),
+    ))
 }
 
 struct MemState {
@@ -124,7 +142,13 @@ impl LsmTree {
             mem: Self::fresh_memtable(&cfg),
             wal: Self::fresh_wal(&hier, &layout),
         };
-        LsmTree { hier, layout, cfg, mem: Mutex::new(mem), storage }
+        LsmTree {
+            hier,
+            layout,
+            cfg,
+            mem: Mutex::new(mem),
+            storage,
+        }
     }
 
     /// Recover after a crash: manifest replay rebuilds the levels, WAL
@@ -140,7 +164,12 @@ impl LsmTree {
             cfg.storage.clone(),
         )?;
         // Replay the WAL region into a fresh MemTable.
-        let scan = Arc::new(PmemObject::open(hier.clone(), layout.wal_base, layout.wal_cap, layout.wal_cap));
+        let scan = Arc::new(PmemObject::open(
+            hier.clone(),
+            layout.wal_base,
+            layout.wal_cap,
+            layout.wal_cap,
+        ));
         let mut reader = WalReader::new(scan);
         let mut mem = Self::fresh_memtable(&cfg);
         let mut max_seq = 0u64;
@@ -154,15 +183,32 @@ impl LsmTree {
         }
         storage.versions().bump_seq_to(max_seq);
         let valid = reader.pos();
-        let wal_obj = Arc::new(PmemObject::open(hier.clone(), layout.wal_base, layout.wal_cap, valid));
-        let mem_state = MemState { mem, wal: WalWriter::new(wal_obj) };
-        Ok(LsmTree { hier, layout, cfg, mem: Mutex::new(mem_state), storage })
+        let wal_obj = Arc::new(PmemObject::open(
+            hier.clone(),
+            layout.wal_base,
+            layout.wal_cap,
+            valid,
+        ));
+        let mem_state = MemState {
+            mem,
+            wal: WalWriter::new(wal_obj),
+        };
+        Ok(LsmTree {
+            hier,
+            layout,
+            cfg,
+            mem: Mutex::new(mem_state),
+            storage,
+        })
     }
 
     fn fresh_memtable(cfg: &LsmConfig) -> MemTable<DramSpace> {
         // Arena sized above the rotation budget so inserts never hit the
         // arena wall before `is_full` fires.
-        MemTable::new(DramSpace::new((cfg.memtable_bytes * 2) as usize), cfg.memtable_bytes)
+        MemTable::new(
+            DramSpace::new((cfg.memtable_bytes * 2) as usize),
+            cfg.memtable_bytes,
+        )
     }
 
     fn fresh_wal(hier: &Arc<Hierarchy>, layout: &PmemLayout) -> WalWriter {
@@ -170,7 +216,11 @@ impl LsmTree {
         hier.store(layout.wal_base, &[0u8; 8]);
         hier.clwb(layout.wal_base, 8);
         hier.sfence();
-        WalWriter::new(Arc::new(PmemObject::create(hier.clone(), layout.wal_base, layout.wal_cap)))
+        WalWriter::new(Arc::new(PmemObject::create(
+            hier.clone(),
+            layout.wal_base,
+            layout.wal_cap,
+        )))
     }
 
     fn write(&self, key: &[u8], value: &[u8], kind: EntryKind) -> Result<()> {
@@ -267,9 +317,15 @@ mod tests {
             db.put(format!("key{i:06}").as_bytes(), &[7u8; 32]).unwrap();
         }
         db.quiesce();
-        assert!(db.storage().level_tables().iter().sum::<usize>() > 0, "flushes happened");
+        assert!(
+            db.storage().level_tables().iter().sum::<usize>() > 0,
+            "flushes happened"
+        );
         for i in (0..3000u32).step_by(191) {
-            assert_eq!(db.get(format!("key{i:06}").as_bytes()).unwrap(), Some(vec![7u8; 32]));
+            assert_eq!(
+                db.get(format!("key{i:06}").as_bytes()).unwrap(),
+                Some(vec![7u8; 32])
+            );
         }
     }
 
@@ -278,7 +334,11 @@ mod tests {
         let db = LsmTree::create(hier(), LsmConfig::test_small());
         for round in 0..5u32 {
             for i in 0..500u32 {
-                db.put(format!("k{i:04}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+                db.put(
+                    format!("k{i:04}").as_bytes(),
+                    format!("r{round}").as_bytes(),
+                )
+                .unwrap();
             }
         }
         assert_eq!(db.get(b"k0123").unwrap(), Some(b"r4".to_vec()));
@@ -290,7 +350,11 @@ mod tests {
         {
             let db = LsmTree::create(h.clone(), LsmConfig::test_small());
             for i in 0..2000u32 {
-                db.put(format!("key{i:06}").as_bytes(), format!("val{i}").as_bytes()).unwrap();
+                db.put(
+                    format!("key{i:06}").as_bytes(),
+                    format!("val{i}").as_bytes(),
+                )
+                .unwrap();
             }
             db.quiesce();
         }
@@ -327,7 +391,10 @@ mod tests {
         h.power_fail();
         let db = LsmTree::recover(h, LsmConfig::test_small()).unwrap();
         for i in 0..200u32 {
-            assert_eq!(db.get(format!("k{i:03}").as_bytes()).unwrap(), Some(b"v".to_vec()));
+            assert_eq!(
+                db.get(format!("k{i:03}").as_bytes()).unwrap(),
+                Some(b"v".to_vec())
+            );
         }
     }
 

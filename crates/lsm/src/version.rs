@@ -26,7 +26,9 @@ pub struct Version {
 impl Version {
     /// Create an empty version with `n` levels.
     pub fn empty(n: usize) -> Self {
-        Version { levels: (0..n).map(|_| Vec::new()).collect() }
+        Version {
+            levels: (0..n).map(|_| Vec::new()).collect(),
+        }
     }
 
     /// Total bytes of tables in `level`.
@@ -115,7 +117,15 @@ impl VersionEdit {
                 let largest = b[p + 2..p + 2 + llen].to_vec();
                 Ok(VersionEdit::AddTable {
                     level,
-                    meta: TableMeta { id, base, len, smallest, largest, entries, max_seq },
+                    meta: TableMeta {
+                        id,
+                        base,
+                        len,
+                        smallest,
+                        largest,
+                        entries,
+                        max_seq,
+                    },
                 })
             }
             2 => {
@@ -126,7 +136,9 @@ impl VersionEdit {
                 let id = u64::from_le_bytes(b[5..13].try_into().unwrap());
                 Ok(VersionEdit::RemoveTable { level, id })
             }
-            t => Err(Error::Corruption(format!("unknown manifest record type {t}"))),
+            t => Err(Error::Corruption(format!(
+                "unknown manifest record type {t}"
+            ))),
         }
     }
 }
@@ -152,7 +164,11 @@ impl VersionSet {
         manifest_cap: u64,
         num_levels: usize,
     ) -> Self {
-        let obj = Arc::new(PmemObject::create(hier.clone(), manifest_base, manifest_cap));
+        let obj = Arc::new(PmemObject::create(
+            hier.clone(),
+            manifest_base,
+            manifest_cap,
+        ));
         VersionSet {
             hier,
             alloc,
@@ -174,7 +190,12 @@ impl VersionSet {
         num_levels: usize,
     ) -> Result<Self> {
         // Scan the whole manifest region; CRCs delimit the valid prefix.
-        let scan = Arc::new(PmemObject::open(hier.clone(), manifest_base, manifest_cap, manifest_cap));
+        let scan = Arc::new(PmemObject::open(
+            hier.clone(),
+            manifest_base,
+            manifest_cap,
+            manifest_cap,
+        ));
         let mut reader = WalReader::new(scan);
         let mut live: BTreeMap<u64, (u32, TableMeta)> = BTreeMap::new();
         let mut max_id = 0u64;
@@ -205,7 +226,12 @@ impl VersionSet {
         }
         // L0 recency order: older tables have smaller ids.
         version.levels[0].sort_by_key(|t| t.meta.id);
-        let writer_obj = Arc::new(PmemObject::open(hier.clone(), manifest_base, manifest_cap, valid_len));
+        let writer_obj = Arc::new(PmemObject::open(
+            hier.clone(),
+            manifest_base,
+            manifest_cap,
+            valid_len,
+        ));
         Ok(VersionSet {
             hier,
             alloc,
@@ -310,9 +336,16 @@ mod tests {
         (hier, Arc::new(PmemAllocator::new(1 << 20, cap - (1 << 20))))
     }
 
-    fn table(hier: &Arc<Hierarchy>, alloc: &Arc<PmemAllocator>, id: u64, lo: usize, hi: usize) -> TableMeta {
-        let entries: Vec<Entry> =
-            (lo..hi).map(|i| Entry::put(format!("k{i:05}"), i as u64 + 1, "v")).collect();
+    fn table(
+        hier: &Arc<Hierarchy>,
+        alloc: &Arc<PmemAllocator>,
+        id: u64,
+        lo: usize,
+        hi: usize,
+    ) -> TableMeta {
+        let entries: Vec<Entry> = (lo..hi)
+            .map(|i| Entry::put(format!("k{i:05}"), i as u64 + 1, "v"))
+            .collect();
         build_table(hier, alloc, id, &entries, &TableOptions::default()).unwrap()
     }
 
@@ -346,9 +379,11 @@ mod tests {
         let vs = VersionSet::create(hier.clone(), alloc.clone(), 0, 1 << 20, 4);
         let m1 = table(&hier, &alloc, vs.new_table_id(), 0, 100);
         let id1 = m1.id;
-        vs.apply(vec![VersionEdit::AddTable { level: 0, meta: m1 }]).unwrap();
+        vs.apply(vec![VersionEdit::AddTable { level: 0, meta: m1 }])
+            .unwrap();
         assert_eq!(vs.current().levels[0].len(), 1);
-        vs.apply(vec![VersionEdit::RemoveTable { level: 0, id: id1 }]).unwrap();
+        vs.apply(vec![VersionEdit::RemoveTable { level: 0, id: id1 }])
+            .unwrap();
         assert_eq!(vs.current().table_count(), 0);
     }
 
@@ -362,16 +397,32 @@ mod tests {
             m2 = table(&hier, &alloc, vs.new_table_id(), 100, 200);
             m3 = table(&hier, &alloc, vs.new_table_id(), 200, 300);
             vs.apply(vec![
-                VersionEdit::AddTable { level: 0, meta: m1.clone() },
-                VersionEdit::AddTable { level: 1, meta: m2.clone() },
-                VersionEdit::AddTable { level: 1, meta: m3.clone() },
+                VersionEdit::AddTable {
+                    level: 0,
+                    meta: m1.clone(),
+                },
+                VersionEdit::AddTable {
+                    level: 1,
+                    meta: m2.clone(),
+                },
+                VersionEdit::AddTable {
+                    level: 1,
+                    meta: m3.clone(),
+                },
             ])
             .unwrap();
             // Drop one again so recovery sees add+remove.
-            vs.apply(vec![VersionEdit::RemoveTable { level: 0, id: m1.id }]).unwrap();
+            vs.apply(vec![VersionEdit::RemoveTable {
+                level: 0,
+                id: m1.id,
+            }])
+            .unwrap();
         }
         hier.power_fail();
-        let alloc2 = Arc::new(PmemAllocator::new(1 << 20, hier.device().capacity() - (1 << 20)));
+        let alloc2 = Arc::new(PmemAllocator::new(
+            1 << 20,
+            hier.device().capacity() - (1 << 20),
+        ));
         let vs = VersionSet::recover(hier.clone(), alloc2.clone(), 0, 1 << 20, 4).unwrap();
         let v = vs.current();
         assert_eq!(v.levels[0].len(), 0);
@@ -380,7 +431,10 @@ mod tests {
         assert_eq!(vs.last_seq(), 300);
         // Reads still work post-recovery.
         let t = &v.levels[1][0];
-        assert!(matches!(t.get(b"k00150"), crate::memtable::Lookup::Found(_)));
+        assert!(matches!(
+            t.get(b"k00150"),
+            crate::memtable::Lookup::Found(_)
+        ));
     }
 
     #[test]

@@ -16,7 +16,10 @@ fn hier(domain: PersistDomain) -> Arc<Hierarchy> {
 }
 
 fn cfg() -> LsmConfig {
-    LsmConfig { memtable_bytes: 8 << 10, storage: StorageConfig::test_small() }
+    LsmConfig {
+        memtable_bytes: 8 << 10,
+        storage: StorageConfig::test_small(),
+    }
 }
 
 #[test]
@@ -54,7 +57,11 @@ fn crash_straddling_wal_rotation_boundaries() {
                 "n={n}: key {i} lost around rotation"
             );
         }
-        assert_eq!(db.get(format!("k{n:06}").as_bytes()).unwrap(), None, "n={n}: phantom key");
+        assert_eq!(
+            db.get(format!("k{n:06}").as_bytes()).unwrap(),
+            None,
+            "n={n}: phantom key"
+        );
     }
 }
 
@@ -68,7 +75,8 @@ fn stale_wal_from_longer_previous_generation_does_not_replay() {
         let db = LsmTree::create(h.clone(), cfg());
         // ~3 rotations worth of unique keys.
         for i in 0..300usize {
-            db.put(format!("gen1-{i:06}").as_bytes(), &[1u8; 48]).unwrap();
+            db.put(format!("gen1-{i:06}").as_bytes(), &[1u8; 48])
+                .unwrap();
         }
         // A couple of fresh writes into the newest (short) WAL.
         db.put(b"fresh-a", b"1").unwrap();
@@ -83,7 +91,10 @@ fn stale_wal_from_longer_previous_generation_does_not_replay() {
     // implied by sequence-number monotonicity — just assert a fresh write
     // still lands with a newer sequence.
     db.put(b"gen1-000000", b"overwritten").unwrap();
-    assert_eq!(db.get(b"gen1-000000").unwrap(), Some(b"overwritten".to_vec()));
+    assert_eq!(
+        db.get(b"gen1-000000").unwrap(),
+        Some(b"overwritten".to_vec())
+    );
 }
 
 #[test]
@@ -94,12 +105,19 @@ fn deep_compaction_keeps_all_live_data() {
     let db = LsmTree::create(h.clone(), cfg());
     for round in 0..6u32 {
         for i in 0..1_200u32 {
-            db.put(format!("k{i:06}").as_bytes(), format!("r{round}-{i}").as_bytes()).unwrap();
+            db.put(
+                format!("k{i:06}").as_bytes(),
+                format!("r{round}-{i}").as_bytes(),
+            )
+            .unwrap();
         }
     }
     db.quiesce();
     let tables = db.storage().level_tables();
-    assert!(tables.iter().skip(2).any(|&n| n > 0), "compaction reached deep levels: {tables:?}");
+    assert!(
+        tables.iter().skip(2).any(|&n| n > 0),
+        "compaction reached deep levels: {tables:?}"
+    );
     for i in (0..1_200u32).step_by(59) {
         assert_eq!(
             db.get(format!("k{i:06}").as_bytes()).unwrap(),
@@ -116,7 +134,11 @@ fn recovery_after_deep_compaction() {
         let db = LsmTree::create(h.clone(), cfg());
         for round in 0..5u32 {
             for i in 0..1_000u32 {
-                db.put(format!("k{i:06}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+                db.put(
+                    format!("k{i:06}").as_bytes(),
+                    format!("r{round}").as_bytes(),
+                )
+                .unwrap();
             }
         }
         db.quiesce();
@@ -124,6 +146,9 @@ fn recovery_after_deep_compaction() {
     h.power_fail();
     let db = LsmTree::recover(h, cfg()).unwrap();
     for i in (0..1_000u32).step_by(41) {
-        assert_eq!(db.get(format!("k{i:06}").as_bytes()).unwrap(), Some(b"r4".to_vec()));
+        assert_eq!(
+            db.get(format!("k{i:06}").as_bytes()).unwrap(),
+            Some(b"r4".to_vec())
+        );
     }
 }

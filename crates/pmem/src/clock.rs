@@ -36,7 +36,10 @@ pub struct Clock {
 impl Clock {
     /// Create a clock with the given mode.
     pub fn new(mode: ClockMode) -> Self {
-        Clock { mode, total_ns: AtomicU64::new(0) }
+        Clock {
+            mode,
+            total_ns: AtomicU64::new(0),
+        }
     }
 
     /// Accounting-only clock (the default for tests).

@@ -41,6 +41,7 @@
 pub mod clock;
 pub mod config;
 pub mod device;
+pub mod faults;
 pub mod media;
 pub mod stats;
 pub mod xpbuffer;
@@ -48,6 +49,7 @@ pub mod xpbuffer;
 pub use clock::{Clock, ClockMode};
 pub use config::{LatencyConfig, PersistDomain, PmemConfig};
 pub use device::PmemDevice;
+pub use faults::{fault_context, FaultEventKind, FaultPlan, TripReport};
 pub use stats::PmemStats;
 
 /// Size of a CPU cacheline in bytes: the granularity at which the CPU hands

@@ -40,7 +40,30 @@ impl Dimm {
     /// `xpbuffer_slots` XPLines.
     pub fn new(capacity: usize, xpbuffer_slots: usize) -> Self {
         assert_eq!(capacity % XPLINE, 0, "capacity must be XPLine aligned");
-        Dimm { media: vec![0u8; capacity], buffer: XpBuffer::new(xpbuffer_slots) }
+        Dimm {
+            media: vec![0u8; capacity],
+            buffer: XpBuffer::new(xpbuffer_slots),
+        }
+    }
+
+    /// Rebuild a DIMM around existing media contents (crash-image reopen).
+    /// The XPBuffer starts empty.
+    pub fn from_media(media: Vec<u8>, xpbuffer_slots: usize) -> Self {
+        assert_eq!(media.len() % XPLINE, 0, "capacity must be XPLine aligned");
+        Dimm {
+            media,
+            buffer: XpBuffer::new(xpbuffer_slots),
+        }
+    }
+
+    /// Raw media contents, *excluding* anything staged in the XPBuffer.
+    pub fn media(&self) -> &[u8] {
+        &self.media
+    }
+
+    /// Snapshot of the open XPBuffer slots (fault-injection capture).
+    pub fn buffer_snapshot(&self) -> Vec<crate::xpbuffer::SlotSnapshot> {
+        self.buffer.snapshot()
     }
 
     /// DIMM capacity in bytes.
@@ -50,7 +73,10 @@ impl Dimm {
 
     /// Stage one cacheline at DIMM-local offset `off`.
     pub fn write_cacheline(&mut self, off: u64, data: &[u8; CACHELINE]) -> DimmEffects {
-        assert!(off as usize + CACHELINE <= self.media.len(), "write past DIMM end");
+        assert!(
+            off as usize + CACHELINE <= self.media.len(),
+            "write past DIMM end"
+        );
         let outcome = self.buffer.write_cacheline(off, data, &mut self.media);
         let mut fx = DimmEffects::default();
         if outcome.hit {

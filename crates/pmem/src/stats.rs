@@ -125,20 +125,36 @@ mod tests {
 
     #[test]
     fn hit_ratio_computes() {
-        let s = PmemStats { xpbuffer_hits: 3, xpbuffer_misses: 1, ..Default::default() };
+        let s = PmemStats {
+            xpbuffer_hits: 3,
+            xpbuffer_misses: 1,
+            ..Default::default()
+        };
         assert!((s.write_hit_ratio() - 0.75).abs() < 1e-9);
     }
 
     #[test]
     fn write_amp_computes() {
-        let s = PmemStats { cpu_writes: 1, media_write_bytes: 256, ..Default::default() };
+        let s = PmemStats {
+            cpu_writes: 1,
+            media_write_bytes: 256,
+            ..Default::default()
+        };
         assert!((s.write_amplification() - 4.0).abs() < 1e-9);
     }
 
     #[test]
     fn delta_subtracts() {
-        let a = PmemStats { cpu_writes: 10, media_write_bytes: 512, ..Default::default() };
-        let b = PmemStats { cpu_writes: 4, media_write_bytes: 256, ..Default::default() };
+        let a = PmemStats {
+            cpu_writes: 10,
+            media_write_bytes: 512,
+            ..Default::default()
+        };
+        let b = PmemStats {
+            cpu_writes: 4,
+            media_write_bytes: 256,
+            ..Default::default()
+        };
         let d = a.delta_since(&b);
         assert_eq!(d.cpu_writes, 6);
         assert_eq!(d.media_write_bytes, 256);

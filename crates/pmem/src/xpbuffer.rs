@@ -34,6 +34,19 @@ pub enum Eviction {
     ReadModifyWrite,
 }
 
+/// Read-only view of one open slot, taken for fault-injection capture.
+#[derive(Debug, Clone)]
+pub struct SlotSnapshot {
+    /// XPLine-aligned DIMM-local offset.
+    pub line: u64,
+    /// The staged data; only sectors set in `valid_mask` are meaningful.
+    pub data: [u8; XPLINE],
+    /// Bit i set => sector i holds CPU data newer than the media.
+    pub valid_mask: u8,
+    /// LRU timestamp; the maximum across slots is the in-flight line.
+    pub tick: u64,
+}
+
 /// Outcome of staging one cacheline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteOutcome {
@@ -54,12 +67,32 @@ impl XpBuffer {
     /// Create a buffer with room for `capacity` XPLines (must be > 0).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "XPBuffer needs at least one slot");
-        XpBuffer { slots: HashMap::with_capacity(capacity + 1), capacity, next_tick: 0 }
+        XpBuffer {
+            slots: HashMap::with_capacity(capacity + 1),
+            capacity,
+            next_tick: 0,
+        }
     }
 
     /// Number of currently open slots.
     pub fn len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Snapshot of every open slot, sorted by line offset for determinism.
+    pub fn snapshot(&self) -> Vec<SlotSnapshot> {
+        let mut out: Vec<SlotSnapshot> = self
+            .slots
+            .iter()
+            .map(|(&line, s)| SlotSnapshot {
+                line,
+                data: s.data,
+                valid_mask: s.valid_mask,
+                tick: s.tick,
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.line);
+        out
     }
 
     /// True when no slots are open.
@@ -70,7 +103,12 @@ impl XpBuffer {
     /// Stage one 64 B cacheline destined for DIMM-local offset `off` (must be
     /// 64 B aligned). `media` is the DIMM's backing store, updated in place
     /// when an eviction occurs.
-    pub fn write_cacheline(&mut self, off: u64, data: &[u8; CACHELINE], media: &mut [u8]) -> WriteOutcome {
+    pub fn write_cacheline(
+        &mut self,
+        off: u64,
+        data: &[u8; CACHELINE],
+        media: &mut [u8],
+    ) -> WriteOutcome {
         debug_assert_eq!(off % CACHELINE as u64, 0, "unaligned cacheline write");
         let line = off & !(XPLINE as u64 - 1);
         let sector = ((off - line) / CACHELINE as u64) as usize;
@@ -82,7 +120,10 @@ impl XpBuffer {
             slot.data[s..s + CACHELINE].copy_from_slice(data);
             slot.valid_mask |= 1 << sector;
             slot.tick = tick;
-            return WriteOutcome { hit: true, evicted: None };
+            return WriteOutcome {
+                hit: true,
+                evicted: None,
+            };
         }
 
         let evicted = if self.slots.len() >= self.capacity {
@@ -91,11 +132,18 @@ impl XpBuffer {
             None
         };
 
-        let mut slot = Slot { data: [0u8; XPLINE], valid_mask: 1 << sector, tick };
+        let mut slot = Slot {
+            data: [0u8; XPLINE],
+            valid_mask: 1 << sector,
+            tick,
+        };
         let s = sector * CACHELINE;
         slot.data[s..s + CACHELINE].copy_from_slice(data);
         self.slots.insert(line, slot);
-        WriteOutcome { hit: false, evicted }
+        WriteOutcome {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Push the least-recently-used slot out to the media.
@@ -212,9 +260,18 @@ mod tests {
         buf.write_cacheline(64, &cl(5), &mut media); // only sector 1 dirty
         let o = buf.write_cacheline(512, &cl(9), &mut media);
         assert_eq!(o.evicted, Some(Eviction::ReadModifyWrite));
-        assert!(media[0..64].iter().all(|&b| b == 0xEE), "sector 0 kept from media");
-        assert!(media[64..128].iter().all(|&b| b == 5), "sector 1 overwritten");
-        assert!(media[128..256].iter().all(|&b| b == 0xEE), "sectors 2-3 kept");
+        assert!(
+            media[0..64].iter().all(|&b| b == 0xEE),
+            "sector 0 kept from media"
+        );
+        assert!(
+            media[64..128].iter().all(|&b| b == 5),
+            "sector 1 overwritten"
+        );
+        assert!(
+            media[128..256].iter().all(|&b| b == 0xEE),
+            "sectors 2-3 kept"
+        );
     }
 
     #[test]

@@ -45,8 +45,16 @@ impl PmemAllocator {
     /// Manage the range `[base, base+len)`; both must be 64 B aligned.
     pub fn new(base: u64, len: u64) -> Self {
         assert_eq!(base % CACHELINE as u64, 0, "base must be cacheline aligned");
-        assert_eq!(len % CACHELINE as u64, 0, "length must be cacheline aligned");
-        PmemAllocator { base, len, free: Mutex::new(vec![FreeRange { start: base, len }]) }
+        assert_eq!(
+            len % CACHELINE as u64,
+            0,
+            "length must be cacheline aligned"
+        );
+        PmemAllocator {
+            base,
+            len,
+            free: Mutex::new(vec![FreeRange { start: base, len }]),
+        }
     }
 
     /// Start of the managed range.
@@ -88,7 +96,11 @@ impl PmemAllocator {
     /// part of the range is already allocated.
     pub fn reserve(&self, addr: u64, size: u64) {
         let size = round_up(size);
-        assert_eq!(addr % CACHELINE as u64, 0, "reserve must be cacheline aligned");
+        assert_eq!(
+            addr % CACHELINE as u64,
+            0,
+            "reserve must be cacheline aligned"
+        );
         let mut free = self.free.lock();
         let i = free
             .iter()
@@ -97,28 +109,55 @@ impl PmemAllocator {
         let r = free[i];
         free.remove(i);
         if addr > r.start {
-            free.insert(i, FreeRange { start: r.start, len: addr - r.start });
+            free.insert(
+                i,
+                FreeRange {
+                    start: r.start,
+                    len: addr - r.start,
+                },
+            );
         }
         let tail_start = addr + size;
         if tail_start < r.start + r.len {
             let pos = free.partition_point(|x| x.start < tail_start);
-            free.insert(pos, FreeRange { start: tail_start, len: r.start + r.len - tail_start });
+            free.insert(
+                pos,
+                FreeRange {
+                    start: tail_start,
+                    len: r.start + r.len - tail_start,
+                },
+            );
         }
     }
 
     /// Return `[addr, addr+size)` to the free list, coalescing neighbours.
     pub fn free(&self, addr: u64, size: u64) {
         let size = round_up(size);
-        assert!(addr >= self.base && addr + size <= self.base + self.len, "free outside managed range");
+        assert!(
+            addr >= self.base && addr + size <= self.base + self.len,
+            "free outside managed range"
+        );
         let mut free = self.free.lock();
         let pos = free.partition_point(|r| r.start < addr);
         if let Some(prev) = pos.checked_sub(1).map(|i| free[i]) {
-            assert!(prev.start + prev.len <= addr, "double free (overlaps previous range)");
+            assert!(
+                prev.start + prev.len <= addr,
+                "double free (overlaps previous range)"
+            );
         }
         if pos < free.len() {
-            assert!(addr + size <= free[pos].start, "double free (overlaps next range)");
+            assert!(
+                addr + size <= free[pos].start,
+                "double free (overlaps next range)"
+            );
         }
-        free.insert(pos, FreeRange { start: addr, len: size });
+        free.insert(
+            pos,
+            FreeRange {
+                start: addr,
+                len: size,
+            },
+        );
         // Coalesce with next, then previous.
         if pos + 1 < free.len() && free[pos].start + free[pos].len == free[pos + 1].start {
             free[pos].len += free[pos + 1].len;

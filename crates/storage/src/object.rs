@@ -22,13 +22,23 @@ pub struct PmemObject {
 impl PmemObject {
     /// Wrap `[base, base+capacity)` as an empty object.
     pub fn create(hier: Arc<Hierarchy>, base: u64, capacity: u64) -> Self {
-        PmemObject { hier, base, capacity, len: AtomicU64::new(0) }
+        PmemObject {
+            hier,
+            base,
+            capacity,
+            len: AtomicU64::new(0),
+        }
     }
 
     /// Re-open an object whose length is known (e.g., from a manifest).
     pub fn open(hier: Arc<Hierarchy>, base: u64, capacity: u64, len: u64) -> Self {
         assert!(len <= capacity);
-        PmemObject { hier, base, capacity, len: AtomicU64::new(len) }
+        PmemObject {
+            hier,
+            base,
+            capacity,
+            len: AtomicU64::new(len),
+        }
     }
 
     /// Base address of the region.
@@ -63,7 +73,13 @@ impl PmemObject {
 
     fn reserve(&self, n: u64) -> u64 {
         let off = self.len.fetch_add(n, Ordering::AcqRel);
-        assert!(off + n <= self.capacity, "PmemObject overflow: {} + {} > {}", off, n, self.capacity);
+        assert!(
+            off + n <= self.capacity,
+            "PmemObject overflow: {} + {} > {}",
+            off,
+            n,
+            self.capacity
+        );
         off
     }
 
@@ -163,7 +179,10 @@ mod tests {
                 offs
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4 * 64, "every append got a unique offset");

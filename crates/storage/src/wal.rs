@@ -28,7 +28,10 @@ pub struct WalWriter {
 impl WalWriter {
     /// Wrap an object as a log.
     pub fn new(obj: Arc<PmemObject>) -> Self {
-        WalWriter { obj, write_lock: Mutex::new(()) }
+        WalWriter {
+            obj,
+            write_lock: Mutex::new(()),
+        }
     }
 
     /// Append one durable record. Returns the record's offset.
@@ -49,7 +52,10 @@ impl WalWriter {
         let h = self.obj.hierarchy();
         let terminator = (self.obj.capacity() - self.obj.len()).min(8) as usize;
         if terminator > 0 {
-            h.store(self.obj.base() + off + body_len as u64, &vec![0u8; terminator]);
+            h.store(
+                self.obj.base() + off + body_len as u64,
+                &vec![0u8; terminator],
+            );
         }
         h.clwb(self.obj.base() + off, body_len + terminator);
         h.sfence();
@@ -133,7 +139,10 @@ mod tests {
         w.append(b"two");
         w.append(b"three");
         let recs: Vec<Vec<u8>> = WalReader::new(o).collect();
-        assert_eq!(recs, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        assert_eq!(
+            recs,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
     }
 
     #[test]
@@ -144,7 +153,12 @@ mod tests {
         o.hierarchy().power_fail();
         // Reopen at the same length (length itself would come from scanning;
         // here the capacity-bounded scan model is the object length).
-        let reopened = Arc::new(PmemObject::open(o.hierarchy().clone(), o.base(), o.capacity(), o.len()));
+        let reopened = Arc::new(PmemObject::open(
+            o.hierarchy().clone(),
+            o.base(),
+            o.capacity(),
+            o.len(),
+        ));
         let recs: Vec<Vec<u8>> = WalReader::new(reopened).collect();
         assert_eq!(recs, vec![b"committed".to_vec()]);
     }
@@ -158,7 +172,11 @@ mod tests {
         // Corrupt one payload byte of the second record.
         o.hierarchy().store(o.base() + second + 8, &[0xFF]);
         let recs: Vec<Vec<u8>> = WalReader::new(o).collect();
-        assert_eq!(recs, vec![b"good".to_vec()], "replay stops at the torn record");
+        assert_eq!(
+            recs,
+            vec![b"good".to_vec()],
+            "replay stops at the torn record"
+        );
     }
 
     #[test]

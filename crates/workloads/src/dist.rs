@@ -43,7 +43,10 @@ impl Uniform {
     /// Uniform over `[0, n)`, seeded for reproducibility.
     pub fn new(n: u64, seed: u64) -> Self {
         assert!(n > 0);
-        Uniform { rng: StdRng::seed_from_u64(seed), n }
+        Uniform {
+            rng: StdRng::seed_from_u64(seed),
+            n,
+        }
     }
 }
 
@@ -96,7 +99,15 @@ impl Zipfian {
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { rng: StdRng::seed_from_u64(seed), n, theta, alpha, zetan, eta, scramble }
+        Zipfian {
+            rng: StdRng::seed_from_u64(seed),
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            scramble,
+        }
     }
 
     fn raw_next(&mut self) -> u64 {
@@ -133,7 +144,10 @@ pub struct Latest {
 impl Latest {
     /// Latest over a key space that currently holds `n` keys.
     pub fn new(n: u64, seed: u64) -> Self {
-        Latest { zipf: Zipfian::with_theta(n, seed, 0.99, false), n }
+        Latest {
+            zipf: Zipfian::with_theta(n, seed, 0.99, false),
+            n,
+        }
     }
 }
 
@@ -186,7 +200,9 @@ mod tests {
         }
         let top = counts.get(&0).copied().unwrap_or(0);
         assert!(top > 5_000, "rank 0 should dominate: {top}");
-        let tail: u64 = (5_000..10_000).map(|i| counts.get(&i).copied().unwrap_or(0)).sum();
+        let tail: u64 = (5_000..10_000)
+            .map(|i| counts.get(&i).copied().unwrap_or(0))
+            .sum();
         assert!(tail < top, "long tail is cold");
     }
 

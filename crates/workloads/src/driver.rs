@@ -62,7 +62,10 @@ pub fn run_ops(
             });
         }
     });
-    Measurement { ops: ops_per_thread * threads as u64, secs: t0.elapsed().as_secs_f64() }
+    Measurement {
+        ops: ops_per_thread * threads as u64,
+        secs: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// Per-operation latency distribution (nanoseconds), aggregated across
@@ -156,10 +159,16 @@ pub fn run_ops_with_latency(
                 lat
             }));
         }
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect::<Vec<u64>>()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect::<Vec<u64>>()
     });
     (
-        Measurement { ops: ops_per_thread * threads as u64, secs: t0.elapsed().as_secs_f64() },
+        Measurement {
+            ops: ops_per_thread * threads as u64,
+            secs: t0.elapsed().as_secs_f64(),
+        },
         LatencyStats::from_samples(samples),
     )
 }
@@ -225,14 +234,17 @@ pub fn run_ycsb(
             });
         }
     });
-    Measurement { ops: ops_per_thread * threads as u64, secs: t0.elapsed().as_secs_f64() }
+    Measurement {
+        ops: ops_per_thread * threads as u64,
+        secs: t0.elapsed().as_secs_f64(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cachekv_lsm::{LsmConfig, LsmTree};
     use cachekv_cache::{CacheConfig, Hierarchy};
+    use cachekv_lsm::{LsmConfig, LsmTree};
     use cachekv_pmem::{LatencyConfig, PmemConfig, PmemDevice};
 
     fn store() -> Arc<dyn KvStore> {
@@ -309,7 +321,10 @@ mod tests {
 
     #[test]
     fn measurement_kops_math() {
-        let m = Measurement { ops: 10_000, secs: 2.0 };
+        let m = Measurement {
+            ops: 10_000,
+            secs: 2.0,
+        };
         assert!((m.kops() - 5.0).abs() < 1e-9);
         let z = Measurement { ops: 1, secs: 0.0 };
         assert_eq!(z.kops(), 0.0);

@@ -22,4 +22,3 @@ pub use dist::{KeyDist, Latest, Sequential, Uniform, Zipfian};
 pub use driver::{fill, run_ops, run_ops_with_latency, run_ycsb, LatencyStats, Measurement};
 pub use keys::{KeyGen, ValueGen};
 pub use ycsb::{YcsbOp, YcsbSpec, YcsbWorkload};
-

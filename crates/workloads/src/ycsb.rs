@@ -198,7 +198,10 @@ mod tests {
                 assert!(id >= 1_000, "inserts append past the population");
             }
         }
-        assert!(max_read >= 1_000, "reads reach newly inserted keys: {max_read}");
+        assert!(
+            max_read >= 1_000,
+            "reads reach newly inserted keys: {max_read}"
+        );
     }
 
     #[test]

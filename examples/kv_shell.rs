@@ -95,9 +95,7 @@ fn main() {
                     }
                 }
             }
-            Some("help") => println!(
-                "put <k> <v> | get <k> | del <k> | stats | crash | quit"
-            ),
+            Some("help") => println!("put <k> <v> | get <k> | del <k> | stats | crash | quit"),
             Some("quit") | Some("exit") => break,
             Some(other) => println!("unknown command: {other} (try `help`)"),
         }

@@ -12,7 +12,9 @@ use cachekv_pmem::{PersistDomain, PmemConfig, PmemDevice};
 use std::sync::Arc;
 
 fn platform(domain: PersistDomain) -> Arc<Hierarchy> {
-    let dev = Arc::new(PmemDevice::new(PmemConfig::paper_scaled().with_domain(domain)));
+    let dev = Arc::new(PmemDevice::new(
+        PmemConfig::paper_scaled().with_domain(domain),
+    ));
     Arc::new(Hierarchy::new(dev, CacheConfig::paper()))
 }
 
@@ -25,7 +27,10 @@ fn main() {
     adr.power_fail();
     let mut buf = vec![0u8; payload.len()];
     adr.load(4096, &mut buf);
-    println!("ADR,  no flush : {:?}", if buf == payload { "SURVIVED" } else { "LOST" });
+    println!(
+        "ADR,  no flush : {:?}",
+        if buf == payload { "SURVIVED" } else { "LOST" }
+    );
     assert_ne!(buf, payload);
 
     // --- ADR with the classic flush discipline -------------------------
@@ -36,7 +41,10 @@ fn main() {
     adr.power_fail();
     let mut buf = vec![0u8; payload.len()];
     adr.load(4096, &mut buf);
-    println!("ADR,  clwb+fence: {:?}", if buf == payload { "SURVIVED" } else { "LOST" });
+    println!(
+        "ADR,  clwb+fence: {:?}",
+        if buf == payload { "SURVIVED" } else { "LOST" }
+    );
     assert_eq!(buf, payload);
 
     // --- eADR: the persistence boundary includes the caches ------------
@@ -45,7 +53,10 @@ fn main() {
     eadr.power_fail();
     let mut buf = vec![0u8; payload.len()];
     eadr.load(4096, &mut buf);
-    println!("eADR, no flush : {:?}", if buf == payload { "SURVIVED" } else { "LOST" });
+    println!(
+        "eADR, no flush : {:?}",
+        if buf == payload { "SURVIVED" } else { "LOST" }
+    );
     assert_eq!(buf, payload);
 
     // --- The catch (Figure 3(c)): eADR without flushes re-awakens write
@@ -64,7 +75,10 @@ fn main() {
         s.write_hit_ratio() * 100.0,
         s.write_amplification()
     );
-    assert!(s.write_amplification() > 2.0, "scattered evictions amplify writes");
+    assert!(
+        s.write_amplification() > 2.0,
+        "scattered evictions amplify writes"
+    );
 
     // --- CacheKV's answer: batch in pinned cache, stream out whole
     //     sub-MemTables with non-temporal stores -------------------------
@@ -79,5 +93,8 @@ fn main() {
         s.write_hit_ratio() * 100.0,
         s.write_amplification()
     );
-    assert!(s.write_amplification() <= 1.01, "streaming fills whole XPLines");
+    assert!(
+        s.write_amplification() <= 1.01,
+        "streaming fills whole XPLines"
+    );
 }

@@ -27,14 +27,18 @@ fn main() {
     db.put(b"user:1002:name", b"Alan Turing").unwrap();
     db.delete(b"user:1002:name").unwrap();
 
-    assert_eq!(db.get(b"user:1001:name").unwrap(), Some(b"Ada Lovelace".to_vec()));
+    assert_eq!(
+        db.get(b"user:1001:name").unwrap(),
+        Some(b"Ada Lovelace".to_vec())
+    );
     assert_eq!(db.get(b"user:1002:name").unwrap(), None);
     println!("basic put/get/delete: ok");
 
     // 4. Write a few thousand entries so data spreads across sub-MemTables,
     //    flushed tables, and the LSM.
     for i in 0..150_000u32 {
-        db.put(format!("key{i:08}").as_bytes(), &[i as u8; 64]).unwrap();
+        db.put(format!("key{i:08}").as_bytes(), &[i as u8; 64])
+            .unwrap();
     }
     db.quiesce();
     let (sealing, pending, global_keys, flushed_bytes) = db.memory_stats();
@@ -52,9 +56,19 @@ fn main() {
     println!("power failure injected; recovering...");
 
     let db = CacheKv::recover(hier.clone(), CacheKvConfig::default()).expect("recovery");
-    assert_eq!(db.get(b"user:1001:name").unwrap(), Some(b"Ada Lovelace".to_vec()));
-    assert_eq!(db.get(b"key00149999").unwrap(), Some(vec![(149_999u32 % 256) as u8; 64]));
-    assert_eq!(db.get(b"user:1002:name").unwrap(), None, "tombstone survived too");
+    assert_eq!(
+        db.get(b"user:1001:name").unwrap(),
+        Some(b"Ada Lovelace".to_vec())
+    );
+    assert_eq!(
+        db.get(b"key00149999").unwrap(),
+        Some(vec![(149_999u32 % 256) as u8; 64])
+    );
+    assert_eq!(
+        db.get(b"user:1002:name").unwrap(),
+        None,
+        "tombstone survived too"
+    );
     println!("recovery: all committed writes intact");
 
     // 6. Device-level statistics from the simulated hardware counters.

@@ -15,8 +15,8 @@ use cachekv_baselines::{BaselineOptions, NoveLsm};
 use cachekv_cache::{CacheConfig, Hierarchy};
 use cachekv_lsm::{KvStore, StorageConfig};
 use cachekv_pmem::{Clock, ClockMode, PmemConfig, PmemDevice};
-use cachekv_workloads::Latest;
 use cachekv_workloads::KeyDist;
+use cachekv_workloads::Latest;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -41,8 +41,11 @@ fn run_scenario(store: &Arc<dyn KvStore>) -> (f64, u64) {
             let follower = (author + f * 7) % USERS;
             let seq = feed_len[follower as usize];
             feed_len[follower as usize] += 1;
-            let event = format!("{{\"author\":{author},\"post\":{post},\"text\":\"hello world #{post}\"}}");
-            store.put(&feed_key(follower, seq), event.as_bytes()).unwrap();
+            let event =
+                format!("{{\"author\":{author},\"post\":{post},\"text\":\"hello world #{post}\"}}");
+            store
+                .put(&feed_key(follower, seq), event.as_bytes())
+                .unwrap();
             total_events += 1;
         }
         // Followers poll their freshest entries (Latest-skewed).

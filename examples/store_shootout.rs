@@ -10,7 +10,11 @@ use cachekv_bench::{build, BenchScale, SystemKind};
 use cachekv_workloads::{driver, run_ops, DbBench, KeyGen, ValueGen};
 
 fn main() {
-    let scale = BenchScale { ops: 15_000, keyspace: 15_000, ..BenchScale::default() };
+    let scale = BenchScale {
+        ops: 15_000,
+        keyspace: 15_000,
+        ..BenchScale::default()
+    };
     let key = KeyGen::paper();
     let value = ValueGen::new(64);
 
@@ -31,12 +35,28 @@ fn main() {
     for kind in all {
         let inst = build(kind, &scale);
         inst.hier.reset_stats();
-        let w = run_ops(&inst.store, DbBench::FillRandom, scale.keyspace, scale.ops, 1, &key, &value);
+        let w = run_ops(
+            &inst.store,
+            DbBench::FillRandom,
+            scale.keyspace,
+            scale.ops,
+            1,
+            &key,
+            &value,
+        );
         inst.store.quiesce();
         let amp = inst.hier.pmem_stats().write_amplification();
         // Ensure reads have a full population.
         driver::fill(&inst.store, scale.keyspace, &key, &value);
-        let r = run_ops(&inst.store, DbBench::ReadRandom, scale.keyspace, scale.ops, 1, &key, &value);
+        let r = run_ops(
+            &inst.store,
+            DbBench::ReadRandom,
+            scale.keyspace,
+            scale.ops,
+            1,
+            &key,
+            &value,
+        );
         println!(
             "{:<20} {:>14.1} {:>14.1} {:>13.2}x",
             kind.name(),

@@ -71,8 +71,10 @@ fn novelsm_concurrency() {
 
 #[test]
 fn slmdb_concurrency() {
-    let db: Arc<dyn KvStore> =
-        Arc::new(SlmDb::new(hier(), BaselineOptions::vanilla().with_memtable_bytes(64 << 10)));
+    let db: Arc<dyn KvStore> = Arc::new(SlmDb::new(
+        hier(),
+        BaselineOptions::vanilla().with_memtable_bytes(64 << 10),
+    ));
     stress(db, 4, 1_500);
 }
 
@@ -98,8 +100,11 @@ fn cachekv_readers_see_only_written_values() {
             let mut round = 0u32;
             while !stop.load(Ordering::Relaxed) {
                 for k in 0..20u32 {
-                    db.put(format!("shared{k:02}").as_bytes(), format!("w{w}-r{round}").as_bytes())
-                        .unwrap();
+                    db.put(
+                        format!("shared{k:02}").as_bytes(),
+                        format!("w{w}-r{round}").as_bytes(),
+                    )
+                    .unwrap();
                 }
                 round += 1;
             }
@@ -148,7 +153,8 @@ fn concurrent_crash_then_recover() {
             let db = db.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..800u32 {
-                    db.put(format!("pre-w{w}-{i:05}").as_bytes(), b"committed").unwrap();
+                    db.put(format!("pre-w{w}-{i:05}").as_bytes(), b"committed")
+                        .unwrap();
                 }
             }));
         }

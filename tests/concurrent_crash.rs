@@ -1,0 +1,138 @@
+//! Concurrency × crash: multiple writer threads race the fault injector.
+//! Each thread tracks its own committed watermark (the last put that
+//! returned while the fault had not yet tripped); after recovery every
+//! watermarked write must be present, the one possibly-in-flight write per
+//! thread may go either way, and nothing beyond it may exist.
+
+use cachekv::{CacheKv, CacheKvConfig};
+use cachekv_cache::{CacheConfig, Hierarchy};
+use cachekv_lsm::KvStore;
+use cachekv_pmem::{FaultPlan, LatencyConfig, PersistDomain, PmemConfig, PmemDevice};
+use std::sync::Arc;
+
+const WRITERS: usize = 4;
+const PER_WRITER: usize = 400;
+
+fn cfg() -> CacheKvConfig {
+    CacheKvConfig {
+        pool_bytes: 64 << 10,
+        subtable_bytes: 8 << 10,
+        min_subtable_bytes: 4 << 10,
+        dump_threshold_bytes: 24 << 10,
+        ..CacheKvConfig::test_small()
+    }
+}
+
+fn device() -> Arc<PmemDevice> {
+    Arc::new(PmemDevice::new(
+        PmemConfig::paper_scaled()
+            .with_domain(PersistDomain::Eadr)
+            .with_latency(LatencyConfig::zero()),
+    ))
+}
+
+fn key(tid: usize, i: usize) -> Vec<u8> {
+    format!("t{tid}-{i:05}").into_bytes()
+}
+
+fn value(tid: usize, i: usize) -> Vec<u8> {
+    format!("w{tid}v{i:05}-{}", "d".repeat(48)).into_bytes()
+}
+
+fn run_writers(db: &Arc<CacheKv>, dev: &Arc<PmemDevice>) -> Vec<usize> {
+    // Returns each thread's committed count: puts 0..count returned while
+    // the fault had not tripped, so under eADR they are durable.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|tid| {
+                let db = db.clone();
+                let dev = dev.clone();
+                s.spawn(move || {
+                    let mut committed = 0;
+                    for i in 0..PER_WRITER {
+                        if dev.fault_tripped() {
+                            break;
+                        }
+                        let r = db.put(&key(tid, i), &value(tid, i));
+                        if dev.fault_tripped() {
+                            break; // in flight: may or may not be durable
+                        }
+                        r.expect("put failed before any crash");
+                        committed = i + 1;
+                    }
+                    committed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn concurrent_writers_with_injected_crash_recover_their_committed_prefix() {
+    // Baseline event count for this workload shape.
+    let total = {
+        let dev = device();
+        dev.install_fault_plan(FaultPlan::count_only());
+        let hier = Arc::new(Hierarchy::new(dev.clone(), CacheConfig::paper()));
+        let db = Arc::new(CacheKv::create(hier, cfg()));
+        run_writers(&db, &dev);
+        db.quiesce();
+        drop(db);
+        dev.fault_events()
+    };
+    assert!(total > 0);
+
+    for k in [total / 5, total / 3, total / 2, total * 3 / 4] {
+        let dev = device();
+        dev.install_fault_plan(FaultPlan::at(k.max(1)));
+        let hier = Arc::new(Hierarchy::new(dev.clone(), CacheConfig::paper()));
+        let committed = {
+            let db = Arc::new(CacheKv::create(hier.clone(), cfg()));
+            let committed = run_writers(&db, &dev);
+            db.quiesce();
+            committed
+        };
+        let media = match dev.take_trip_report() {
+            Some(rep) => rep.media,
+            None => {
+                // Event drift put k past this run's total; power-fail at
+                // the end instead — everything is committed. The failure
+                // must go through the hierarchy that actually holds the
+                // store's dirty CAT-locked lines, or the eADR writeback
+                // would miss them.
+                dev.clear_fault_plan();
+                hier.power_fail();
+                dev.clone_media()
+            }
+        };
+
+        let dev2 = Arc::new(PmemDevice::from_media(dev.config().clone(), media));
+        let hier2 = Arc::new(Hierarchy::new(dev2, CacheConfig::paper()));
+        let db = CacheKv::recover(hier2, cfg()).unwrap();
+        for (tid, &count) in committed.iter().enumerate() {
+            // Every committed put must be present…
+            for i in 0..count {
+                assert_eq!(
+                    db.get(&key(tid, i)).unwrap(),
+                    Some(value(tid, i)),
+                    "crash at {k}: writer {tid}'s committed put {i}/{count} lost"
+                );
+            }
+            // …the one possibly-in-flight write is either there or not…
+            let boundary = db.get(&key(tid, count)).unwrap();
+            assert!(
+                boundary.is_none() || boundary == Some(value(tid, count)),
+                "crash at {k}: writer {tid}'s in-flight put corrupted"
+            );
+            // …and nothing past it was fabricated.
+            for i in (count + 1)..PER_WRITER {
+                assert_eq!(
+                    db.get(&key(tid, i)).unwrap(),
+                    None,
+                    "crash at {k}: writer {tid} put {i} exists beyond the crash"
+                );
+            }
+        }
+    }
+}

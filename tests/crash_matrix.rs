@@ -6,16 +6,19 @@
 use cachekv::{CacheKv, CacheKvConfig};
 use cachekv_cache::{CacheConfig, Hierarchy};
 use cachekv_lsm::{KvStore, LsmConfig, LsmTree, StorageConfig};
-use cachekv_pmem::{LatencyConfig, PersistDomain, PmemConfig, PmemDevice};
+use cachekv_pmem::{FaultPlan, LatencyConfig, PersistDomain, PmemConfig, PmemDevice};
 use std::sync::Arc;
 
 fn hier(domain: PersistDomain) -> Arc<Hierarchy> {
-    let dev = Arc::new(PmemDevice::new(
+    Arc::new(Hierarchy::new(device(domain), CacheConfig::paper()))
+}
+
+fn device(domain: PersistDomain) -> Arc<PmemDevice> {
+    Arc::new(PmemDevice::new(
         PmemConfig::paper_scaled()
             .with_domain(domain)
             .with_latency(LatencyConfig::zero()),
-    ));
-    Arc::new(Hierarchy::new(dev, CacheConfig::paper()))
+    ))
 }
 
 fn small_cfg() -> CacheKvConfig {
@@ -37,7 +40,8 @@ fn cachekv_crashes_at_many_points() {
         {
             let db = CacheKv::create(h.clone(), small_cfg());
             for i in 0..crash_after {
-                db.put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                db.put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
             }
             // No quiesce: crash mid-pipeline.
         }
@@ -92,15 +96,26 @@ fn cachekv_crash_during_heavy_overwrites_returns_some_committed_version() {
         let db = CacheKv::create(h.clone(), small_cfg());
         for round in 0..10u32 {
             for k in 0..50u32 {
-                db.put(format!("k{k:03}").as_bytes(), format!("r{round:02}").as_bytes()).unwrap();
+                db.put(
+                    format!("k{k:03}").as_bytes(),
+                    format!("r{round:02}").as_bytes(),
+                )
+                .unwrap();
             }
         }
     }
     h.power_fail();
     let db = CacheKv::recover(h, small_cfg()).unwrap();
     for k in 0..50u32 {
-        let got = db.get(format!("k{k:03}").as_bytes()).unwrap().expect("key exists");
-        assert_eq!(got, b"r09".to_vec(), "latest committed round must win for k{k}");
+        let got = db
+            .get(format!("k{k:03}").as_bytes())
+            .unwrap()
+            .expect("key exists");
+        assert_eq!(
+            got,
+            b"r09".to_vec(),
+            "latest committed round must win for k{k}"
+        );
     }
 }
 
@@ -110,21 +125,232 @@ fn lsm_tree_wal_recovers_under_adr() {
     // survives even with volatile caches.
     let h = hier(PersistDomain::Adr);
     {
-        let db = LsmTree::create(h.clone(), LsmConfig { memtable_bytes: 8 << 10, storage: StorageConfig::test_small() });
+        let db = LsmTree::create(
+            h.clone(),
+            LsmConfig {
+                memtable_bytes: 8 << 10,
+                storage: StorageConfig::test_small(),
+            },
+        );
         for i in 0..3_000 {
-            db.put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            db.put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
         }
         db.quiesce();
     }
     h.power_fail();
-    let db = LsmTree::recover(h, LsmConfig { memtable_bytes: 8 << 10, storage: StorageConfig::test_small() })
-        .unwrap();
+    let db = LsmTree::recover(
+        h,
+        LsmConfig {
+            memtable_bytes: 8 << 10,
+            storage: StorageConfig::test_small(),
+        },
+    )
+    .unwrap();
     for i in (0..3_000).step_by(113) {
         assert_eq!(
             db.get(format!("k{i:06}").as_bytes()).unwrap(),
             Some(format!("v{i}").into_bytes())
         );
     }
+}
+
+/// Count the persistence events a closure generates on a fresh device.
+fn count_events(domain: PersistDomain, run: impl FnOnce(Arc<Hierarchy>)) -> u64 {
+    let dev = device(domain);
+    dev.install_fault_plan(FaultPlan::count_only());
+    run(Arc::new(Hierarchy::new(dev.clone(), CacheConfig::paper())));
+    dev.fault_events()
+}
+
+#[test]
+fn fault_injection_eadr_cachekv_commits_at_the_store() {
+    // eADR commit point: the *store instruction*. Any put that returned
+    // before the fault tripped must survive, even though CacheKV issues no
+    // flushes on its write path.
+    let n = 1_500usize;
+    let workload = |db: &CacheKv| {
+        for i in 0..n {
+            if db
+                .put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes())
+                .is_err()
+            {
+                break;
+            }
+        }
+    };
+    let total = count_events(PersistDomain::Eadr, |h| {
+        let db = CacheKv::create(h, small_cfg());
+        workload(&db);
+        db.quiesce();
+    });
+    for k in [total / 4, total / 2, total * 3 / 4] {
+        let dev = device(PersistDomain::Eadr);
+        dev.install_fault_plan(FaultPlan::at(k.max(1)));
+        let h = Arc::new(Hierarchy::new(dev.clone(), CacheConfig::paper()));
+        let mut committed = 0usize;
+        {
+            let db = CacheKv::create(h, small_cfg());
+            for i in 0..n {
+                if dev.fault_tripped() {
+                    break;
+                }
+                let r = db.put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes());
+                if dev.fault_tripped() {
+                    break; // in-flight: may or may not have committed
+                }
+                r.unwrap();
+                committed = i + 1;
+            }
+        }
+        let rep = match dev.take_trip_report() {
+            Some(rep) => rep,
+            None => continue, // fewer events this run; other points cover it
+        };
+        let dev2 = Arc::new(PmemDevice::from_media(dev.config().clone(), rep.media));
+        let h2 = Arc::new(Hierarchy::new(dev2, CacheConfig::paper()));
+        let db = CacheKv::recover(h2, small_cfg()).unwrap();
+        for i in 0..committed {
+            assert_eq!(
+                db.get(format!("k{i:06}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "crash at event {k} (ctx {:?}): store-committed put {i} lost",
+                rep.context
+            );
+        }
+        assert_eq!(db.get(b"k999999").unwrap(), None, "no phantom keys");
+    }
+}
+
+#[test]
+fn fault_injection_adr_wal_commits_at_the_fence() {
+    // ADR commit point: the *fence*. The WAL engine clwb+fences every
+    // record inside put, so a put that returned is durable even though the
+    // CPU caches die with the power.
+    let n = 1_200usize;
+    let total = count_events(PersistDomain::Adr, |h| {
+        let db = LsmTree::create(
+            h,
+            LsmConfig {
+                memtable_bytes: 8 << 10,
+                storage: StorageConfig::test_small(),
+            },
+        );
+        for i in 0..n {
+            if db
+                .put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes())
+                .is_err()
+            {
+                break;
+            }
+        }
+        db.quiesce();
+    });
+    for k in [total / 4, total / 2, total * 3 / 4] {
+        let dev = device(PersistDomain::Adr);
+        dev.install_fault_plan(FaultPlan::at(k.max(1)));
+        let h = Arc::new(Hierarchy::new(dev.clone(), CacheConfig::paper()));
+        let cfg = LsmConfig {
+            memtable_bytes: 8 << 10,
+            storage: StorageConfig::test_small(),
+        };
+        let mut committed = 0usize;
+        {
+            let db = LsmTree::create(h, cfg.clone());
+            for i in 0..n {
+                if dev.fault_tripped() {
+                    break;
+                }
+                let r = db.put(format!("k{i:06}").as_bytes(), format!("v{i}").as_bytes());
+                if dev.fault_tripped() {
+                    break;
+                }
+                r.unwrap();
+                committed = i + 1;
+            }
+        }
+        let rep = match dev.take_trip_report() {
+            Some(rep) => rep,
+            None => continue,
+        };
+        let dev2 = Arc::new(PmemDevice::from_media(dev.config().clone(), rep.media));
+        let h2 = Arc::new(Hierarchy::new(dev2, CacheConfig::paper()));
+        let db = LsmTree::recover(h2, cfg).unwrap();
+        for i in (0..committed).step_by(37) {
+            assert_eq!(
+                db.get(format!("k{i:06}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "crash at event {k}: fence-committed put {i} lost"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_injection_adr_cachekv_keeps_only_flushed_data() {
+    // The contrast case: under plain ADR, CacheKV's store-committed writes
+    // are only durable once copy-flushed. A mid-workload crash must lose
+    // the still-cached suffix (the paper's argument for requiring eADR)
+    // while never fabricating values.
+    let n = 2_000usize;
+    let value = |i: usize| format!("v{i:06}{}", "x".repeat(64)).into_bytes();
+    let total = count_events(PersistDomain::Adr, |h| {
+        let db = CacheKv::create(h, small_cfg());
+        for i in 0..n {
+            let _ = db.put(format!("k{i:06}").as_bytes(), &value(i));
+        }
+        db.quiesce();
+    });
+    // Flush timing varies run-to-run; try several points and require at
+    // least one crash to land mid-workload.
+    let mut landed_mid_workload = false;
+    for k in [total / 8, total / 6, total / 4, total / 3, total / 2] {
+        let dev = device(PersistDomain::Adr);
+        dev.install_fault_plan(FaultPlan::at(k.max(1)));
+        let h = Arc::new(Hierarchy::new(dev.clone(), CacheConfig::paper()));
+        let mut committed = 0usize;
+        {
+            let db = CacheKv::create(h, small_cfg());
+            for i in 0..n {
+                if dev.fault_tripped() {
+                    break;
+                }
+                let r = db.put(format!("k{i:06}").as_bytes(), &value(i));
+                if dev.fault_tripped() {
+                    break;
+                }
+                r.unwrap();
+                committed = i + 1;
+            }
+        }
+        let rep = match dev.take_trip_report() {
+            Some(rep) if committed > 0 && committed < n => rep,
+            _ => continue,
+        };
+        landed_mid_workload = true;
+        let dev2 = Arc::new(PmemDevice::from_media(dev.config().clone(), rep.media));
+        let h2 = Arc::new(Hierarchy::new(dev2, CacheConfig::paper()));
+        let db = CacheKv::recover(h2, small_cfg()).unwrap();
+        // No fabrication: anything recovered is a value actually written.
+        for i in 0..committed {
+            let got = db.get(format!("k{i:06}").as_bytes()).unwrap();
+            assert!(
+                got.is_none() || got == Some(value(i)),
+                "key {i} recovered a value never written"
+            );
+        }
+        // The last committed write was still cache-resident: ADR dropped it.
+        let last = committed - 1;
+        assert_eq!(
+            db.get(format!("k{last:06}").as_bytes()).unwrap(),
+            None,
+            "ADR kept a write that was never flushed out of the caches"
+        );
+    }
+    assert!(
+        landed_mid_workload,
+        "no crash point landed mid-workload ({total} events)"
+    );
 }
 
 #[test]
@@ -139,5 +365,9 @@ fn cachekv_under_adr_would_lose_cache_contents() {
     }
     h.power_fail();
     let db = CacheKv::recover(h, small_cfg()).unwrap();
-    assert_eq!(db.get(b"doomed").unwrap(), None, "ADR dropped the cached write");
+    assert_eq!(
+        db.get(b"doomed").unwrap(),
+        None,
+        "ADR dropped the cached write"
+    );
 }

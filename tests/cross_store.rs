@@ -19,7 +19,13 @@ fn hier() -> Arc<Hierarchy> {
 fn all_stores() -> Vec<Arc<dyn KvStore>> {
     let storage = StorageConfig::test_small;
     vec![
-        Arc::new(LsmTree::create(hier(), LsmConfig { memtable_bytes: 16 << 10, storage: storage() })),
+        Arc::new(LsmTree::create(
+            hier(),
+            LsmConfig {
+                memtable_bytes: 16 << 10,
+                storage: storage(),
+            },
+        )),
         Arc::new(CacheKv::create(hier(), CacheKvConfig::test_small())),
         Arc::new(CacheKv::create(
             hier(),
@@ -29,18 +35,36 @@ fn all_stores() -> Vec<Arc<dyn KvStore>> {
             hier(),
             CacheKvConfig::test_small().with_techniques(Techniques::pcsm_liu()),
         )),
-        Arc::new(NoveLsm::new(hier(), BaselineOptions::vanilla().with_memtable_bytes(32 << 10), storage())),
-        Arc::new(NoveLsm::new(hier(), BaselineOptions::without_flush().with_memtable_bytes(32 << 10), storage())),
         Arc::new(NoveLsm::new(
             hier(),
-            BaselineOptions::cache().with_memtable_bytes(32 << 10).with_segment_bytes(16 << 10),
+            BaselineOptions::vanilla().with_memtable_bytes(32 << 10),
             storage(),
         )),
-        Arc::new(SlmDb::new(hier(), BaselineOptions::vanilla().with_memtable_bytes(32 << 10))),
-        Arc::new(SlmDb::new(hier(), BaselineOptions::without_flush().with_memtable_bytes(32 << 10))),
+        Arc::new(NoveLsm::new(
+            hier(),
+            BaselineOptions::without_flush().with_memtable_bytes(32 << 10),
+            storage(),
+        )),
+        Arc::new(NoveLsm::new(
+            hier(),
+            BaselineOptions::cache()
+                .with_memtable_bytes(32 << 10)
+                .with_segment_bytes(16 << 10),
+            storage(),
+        )),
         Arc::new(SlmDb::new(
             hier(),
-            BaselineOptions::cache().with_memtable_bytes(32 << 10).with_segment_bytes(16 << 10),
+            BaselineOptions::vanilla().with_memtable_bytes(32 << 10),
+        )),
+        Arc::new(SlmDb::new(
+            hier(),
+            BaselineOptions::without_flush().with_memtable_bytes(32 << 10),
+        )),
+        Arc::new(SlmDb::new(
+            hier(),
+            BaselineOptions::cache()
+                .with_memtable_bytes(32 << 10)
+                .with_segment_bytes(16 << 10),
         )),
     ]
 }
@@ -79,7 +103,13 @@ fn all_stores_agree_on_final_state() {
         let expect = reference.get(key.as_bytes()).unwrap();
         for store in &stores[1..] {
             let got = store.get(key.as_bytes()).unwrap();
-            assert_eq!(got, expect, "{} disagrees with {} on {key}", store.name(), reference.name());
+            assert_eq!(
+                got,
+                expect,
+                "{} disagrees with {} on {key}",
+                store.name(),
+                reference.name()
+            );
         }
     }
 }
@@ -92,7 +122,9 @@ fn sustained_overwrite_churn_stays_consistent() {
         for round in 0..20u32 {
             for k in 0..150u16 {
                 let key = format!("hot{k:04}");
-                store.put(key.as_bytes(), format!("round-{round}").as_bytes()).unwrap();
+                store
+                    .put(key.as_bytes(), format!("round-{round}").as_bytes())
+                    .unwrap();
             }
         }
         store.quiesce();
@@ -122,7 +154,12 @@ fn interleaved_delete_reinsert_cycles() {
         store.quiesce();
         for k in 0..100u16 {
             let key = format!("cyc{k:04}");
-            assert_eq!(store.get(key.as_bytes()).unwrap(), None, "{}: {key} should be deleted", store.name());
+            assert_eq!(
+                store.get(key.as_bytes()).unwrap(),
+                None,
+                "{}: {key} should be deleted",
+                store.name()
+            );
         }
     }
 }

@@ -55,7 +55,12 @@ fn check_against_model(store: &dyn KvStore, ops: &[Op], vlen: usize) {
             }
             Op::Get(k) => {
                 let got = store.get(&key(*k)).unwrap();
-                assert_eq!(got, model.get(&key(*k)).cloned(), "{}: key {k}", store.name());
+                assert_eq!(
+                    got,
+                    model.get(&key(*k)).cloned(),
+                    "{}: key {k}",
+                    store.name()
+                );
             }
         }
     }
@@ -63,7 +68,12 @@ fn check_against_model(store: &dyn KvStore, ops: &[Op], vlen: usize) {
     store.quiesce();
     for k in 0u16..300 {
         let got = store.get(&key(k)).unwrap();
-        assert_eq!(got, model.get(&key(k)).cloned(), "{}: final key {k}", store.name());
+        assert_eq!(
+            got,
+            model.get(&key(k)).cloned(),
+            "{}: final key {k}",
+            store.name()
+        );
     }
 }
 

@@ -17,7 +17,10 @@ const OPS: u32 = 8_000;
 /// Fresh hierarchy with a Counting clock (default) and a given LLC size.
 fn hier(cache_bytes: usize) -> Arc<Hierarchy> {
     let dev = Arc::new(PmemDevice::new(PmemConfig::paper_scaled()));
-    Arc::new(Hierarchy::new(dev, CacheConfig::paper().with_capacity(cache_bytes)))
+    Arc::new(Hierarchy::new(
+        dev,
+        CacheConfig::paper().with_capacity(cache_bytes),
+    ))
 }
 
 /// Run `OPS` random-ish 64 B writes and return charged device nanoseconds.
@@ -37,7 +40,11 @@ fn claim_ob1_removing_flushes_tanks_hit_ratio_and_amplifies() {
     // 1 MiB LLC so the w/o-flush variant evicts within this scaled run.
     let run = |opts: BaselineOptions| {
         let h = hier(1 << 20);
-        let db = NoveLsm::new(h.clone(), opts.with_memtable_bytes(8 << 20), StorageConfig::default());
+        let db = NoveLsm::new(
+            h.clone(),
+            opts.with_memtable_bytes(8 << 20),
+            StorageConfig::default(),
+        );
         for i in 0..OPS * 2 {
             let key = format!("key{:012}", (i as u64).wrapping_mul(7919) % 1_000_000);
             db.put(key.as_bytes(), &[7u8; 64]).unwrap();
@@ -65,15 +72,28 @@ fn claim_ob1_removing_flushes_tanks_hit_ratio_and_amplifies() {
 fn claim_exp1_cachekv_write_cost_beats_baselines() {
     // Charged device time per op: CacheKV ≪ NoveLSM ≪ practical-SLM-DB.
     let h1 = hier(36 << 20);
-    let cachekv = CacheKv::create(h1.clone(), CacheKvConfig { num_cores: 4, ..CacheKvConfig::default() });
+    let cachekv = CacheKv::create(
+        h1.clone(),
+        CacheKvConfig {
+            num_cores: 4,
+            ..CacheKvConfig::default()
+        },
+    );
     let t_cachekv = charged_write_ns(&cachekv, &h1);
 
     let h2 = hier(36 << 20);
-    let novelsm = NoveLsm::new(h2.clone(), BaselineOptions::vanilla(), StorageConfig::default());
+    let novelsm = NoveLsm::new(
+        h2.clone(),
+        BaselineOptions::vanilla(),
+        StorageConfig::default(),
+    );
     let t_novelsm = charged_write_ns(&novelsm, &h2);
 
     let h3 = hier(36 << 20);
-    let slmdb = SlmDb::new(h3.clone(), BaselineOptions::vanilla().with_memtable_bytes(512 << 10));
+    let slmdb = SlmDb::new(
+        h3.clone(),
+        BaselineOptions::vanilla().with_memtable_bytes(512 << 10),
+    );
     let t_slmdb = charged_write_ns(&slmdb, &h3);
 
     assert!(
@@ -94,11 +114,16 @@ fn claim_cf_copy_flush_avoids_write_amplification() {
     // Small pool so the run cycles through many copy-based flushes.
     let db = CacheKv::create(
         h.clone(),
-        CacheKvConfig { num_cores: 4, ..CacheKvConfig::default() }.with_pool(1 << 20, 256 << 10),
+        CacheKvConfig {
+            num_cores: 4,
+            ..CacheKvConfig::default()
+        }
+        .with_pool(1 << 20, 256 << 10),
     );
     h.reset_stats();
     for i in 0..OPS * 2 {
-        db.put(format!("key{i:012}").as_bytes(), &[7u8; 64]).unwrap();
+        db.put(format!("key{i:012}").as_bytes(), &[7u8; 64])
+            .unwrap();
     }
     db.quiesce();
     let s = h.pmem_stats();
@@ -121,7 +146,9 @@ fn claim_exp2_reads_are_competitive() {
     // claim, as index costs here are DRAM-side and uncharged).
     let fill = |store: &dyn KvStore| {
         for i in 0..OPS {
-            store.put(format!("key{i:012}").as_bytes(), &[7u8; 64]).unwrap();
+            store
+                .put(format!("key{i:012}").as_bytes(), &[7u8; 64])
+                .unwrap();
         }
         store.quiesce();
     };
@@ -134,12 +161,22 @@ fn claim_exp2_reads_are_competitive() {
         clock.total_ns()
     };
     let h1 = hier(36 << 20);
-    let cachekv = CacheKv::create(h1.clone(), CacheKvConfig { num_cores: 4, ..CacheKvConfig::default() });
+    let cachekv = CacheKv::create(
+        h1.clone(),
+        CacheKvConfig {
+            num_cores: 4,
+            ..CacheKvConfig::default()
+        },
+    );
     fill(&cachekv);
     let r_cachekv = read_ns(&cachekv, &h1);
 
     let h2 = hier(36 << 20);
-    let novelsm = NoveLsm::new(h2.clone(), BaselineOptions::vanilla(), StorageConfig::default());
+    let novelsm = NoveLsm::new(
+        h2.clone(),
+        BaselineOptions::vanilla(),
+        StorageConfig::default(),
+    );
     fill(&novelsm);
     let r_novelsm = read_ns(&novelsm, &h2);
 
@@ -164,9 +201,9 @@ fn claim_cache_variants_improve_hit_ratio_over_noflush() {
         h.pmem_stats().write_hit_ratio()
     };
     let noflush = run(BaselineOptions::without_flush().with_memtable_bytes(8 << 20));
-    let cache = run(
-        BaselineOptions::cache().with_memtable_bytes(256 << 10).with_segment_bytes(256 << 10),
-    );
+    let cache = run(BaselineOptions::cache()
+        .with_memtable_bytes(256 << 10)
+        .with_segment_bytes(256 << 10));
     assert!(
         cache > noflush + 0.2,
         "cache variant hit ratio {cache:.2} should clearly beat w/o-flush {noflush:.2}"
