@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy build test sweep bench
+.PHONY: verify fmt clippy build test sweep bench bench-smoke
 
 verify: fmt clippy test sweep
 
@@ -26,3 +26,11 @@ sweep:
 
 bench:
 	$(CARGO) bench --workspace
+
+# Scaled-down figure run that must emit a parseable metrics artifact
+# (target/metrics/fig10_write_throughput.json) covering every system.
+bench-smoke:
+	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
+		$(CARGO) bench -p cachekv-bench --bench fig10_write_throughput
+	CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
+		$(CARGO) run -q -p cachekv-bench --bin validate_metrics

@@ -71,6 +71,16 @@ impl BreakdownSnapshot {
         self.lock_wait_ns + self.index_update_ns + self.data_write_ns + self.other_ns
     }
 
+    /// Export as registry-style metrics under the `write.` namespace, for
+    /// snapshot parity with CacheKV's phase counters.
+    pub fn export_into(&self, out: &mut cachekv_obs::MetricsExport) {
+        out.insert_counter("write.lock_wait_ns", self.lock_wait_ns);
+        out.insert_counter("write.index_update_ns", self.index_update_ns);
+        out.insert_counter("write.data_write_ns", self.data_write_ns);
+        out.insert_counter("write.other_ns", self.other_ns);
+        out.insert_counter("write.ops", self.writes);
+    }
+
     /// Fractions `(lock, index, data, other)` of the total; zeros when empty.
     pub fn fractions(&self) -> (f64, f64, f64, f64) {
         let t = self.total_ns();

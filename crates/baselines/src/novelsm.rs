@@ -218,6 +218,21 @@ impl KvStore for NoveLsm {
     fn quiesce(&self) {
         self.storage.wait_idle();
     }
+
+    fn snapshot_json(&self) -> Option<String> {
+        let mut memory = cachekv_obs::MetricsExport::default();
+        self.breakdown.snapshot().export_into(&mut memory);
+        Some(
+            cachekv_obs::StatsSnapshot {
+                system: self.name.to_string(),
+                device: self.hier.pmem_stats(),
+                cache: self.hier.cache_stats(),
+                memory,
+                lsm: self.storage.export_metrics(),
+            }
+            .to_json_string(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -349,6 +349,24 @@ impl KvStore for SlmDb {
     fn name(&self) -> &'static str {
         self.name
     }
+
+    fn snapshot_json(&self) -> Option<String> {
+        let mut memory = cachekv_obs::MetricsExport::default();
+        self.breakdown.snapshot().export_into(&mut memory);
+        // SLM-DB's single-level table set stands in for the LSM layer.
+        let mut lsm = cachekv_obs::MetricsExport::default();
+        lsm.insert_gauge("slmdb.tables", self.table_count() as i64);
+        Some(
+            cachekv_obs::StatsSnapshot {
+                system: self.name.to_string(),
+                device: self.hier.pmem_stats(),
+                cache: self.hier.cache_stats(),
+                memory,
+                lsm,
+            }
+            .to_json_string(),
+        )
+    }
 }
 
 #[cfg(test)]

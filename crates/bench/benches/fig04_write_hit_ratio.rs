@@ -9,7 +9,9 @@
 //! The LLC is scaled to 4 MiB (vs the paper's 36 MiB) so the scaled op
 //! count produces real capacity evictions for the `-w/o-flush` variants.
 
-use cachekv_bench::{banner, build_on, fresh_hierarchy_with_cache, row, BenchScale, SystemKind};
+use cachekv_bench::{
+    banner, build_on, fresh_hierarchy_with_cache, row, BenchScale, MetricsSink, SystemKind,
+};
 use cachekv_workloads::{run_ops, DbBench, KeyGen, ValueGen};
 
 fn main() {
@@ -17,6 +19,7 @@ fn main() {
     scale.ops *= 2; // enough traffic to churn the scaled 4 MiB LLC
     let key = KeyGen::paper();
     let value_sizes = [32usize, 64, 128, 256];
+    let mut sink = MetricsSink::new("fig04_write_hit_ratio");
 
     // Scale the pieces to the 4 MiB LLC: unpinned MemTables larger than the
     // cache (so unflushed writes must evict), pinned segments well inside it.
@@ -34,7 +37,12 @@ fn main() {
             _ => {}
         }
     };
-    let measure = |kind: SystemKind, vs: usize, ops: u64| -> cachekv_pmem::PmemStats {
+    let measure = |kind: SystemKind,
+                   vs: usize,
+                   ops: u64,
+                   tag: &str,
+                   sink: &mut MetricsSink|
+     -> cachekv_pmem::PmemStats {
         let hier = fresh_hierarchy_with_cache(4 << 20);
         let mut s = scale.clone();
         adjust(kind, &mut s);
@@ -43,6 +51,7 @@ fn main() {
         let value = ValueGen::new(vs);
         run_ops(&inst.store, DbBench::FillRandom, ops, ops, 1, &key, &value);
         inst.store.quiesce();
+        sink.record(&format!("{}/{tag}{vs}B", kind.name()), &inst);
         hier.pmem_stats()
     };
 
@@ -66,7 +75,7 @@ fn main() {
             .map(|&vs| {
                 format!(
                     "{:.1}",
-                    measure(kind, vs, scale.ops).write_hit_ratio() * 100.0
+                    measure(kind, vs, scale.ops, "", &mut sink).write_hit_ratio() * 100.0
                 )
             })
             .collect::<Vec<_>>();
@@ -80,9 +89,10 @@ fn main() {
         names.push(kind.name().to_string());
         cells.push(format!(
             "{:.2}x",
-            measure(kind, 64, scale.ops).write_amplification()
+            measure(kind, 64, scale.ops, "wa-", &mut sink).write_amplification()
         ));
     }
     row("system", &names);
     row("write amplification", &cells);
+    sink.write();
 }

@@ -8,7 +8,9 @@
 
 use cachekv_baselines::BaselineOptions;
 use cachekv_baselines::NoveLsm;
-use cachekv_bench::{banner, bench_storage, build, fresh_hierarchy, row, BenchScale, SystemKind};
+use cachekv_bench::{
+    banner, bench_storage, build, fresh_hierarchy, row, BenchScale, MetricsSink, SystemKind,
+};
 use cachekv_workloads::{run_ops, DbBench, KeyGen, ValueGen};
 use std::sync::Arc;
 
@@ -17,6 +19,7 @@ fn main() {
     let key = KeyGen::paper();
     let value = ValueGen::new(64);
     let threads = [1usize, 2, 4, 8];
+    let mut sink = MetricsSink::new("fig05_software_overheads");
 
     banner(
         "Figure 5(a)",
@@ -43,6 +46,8 @@ fn main() {
                 &value,
             );
             cells.push(format!("{:.1}", m.kops()));
+            inst.store.quiesce();
+            sink.record(&format!("{}/{t}threads", kind.name()), &inst);
         }
         row(kind.name(), &cells);
     }
@@ -74,6 +79,9 @@ fn main() {
             &key,
             &value,
         );
+        if let Some(json) = store.snapshot_json() {
+            sink.record_json(&format!("NoveLSM-cache/breakdown/{t}threads"), &json);
+        }
         let (l, i, d, o) = db.breakdown().snapshot().fractions();
         row(
             &format!("{t} threads"),
@@ -85,4 +93,5 @@ fn main() {
             ],
         );
     }
+    sink.write();
 }

@@ -4,17 +4,18 @@
 //! Expected shape: CacheKV > PCSM+LIU > PCSM > NoveLSM-cache > NoveLSM >
 //! SLM-DB-cache ≳ SLM-DB, with CacheKV's lead growing as values shrink.
 
-use cachekv_bench::{banner, build, row, BenchScale, SystemKind};
+use cachekv_bench::{banner, build, row, BenchScale, MetricsSink, SystemKind};
 use cachekv_workloads::{run_ops, DbBench, KeyGen, ValueGen};
 
 fn main() {
     let scale = BenchScale::default();
     let key = KeyGen::paper();
     let value_sizes = [16usize, 64, 128, 256];
+    let mut sink = MetricsSink::new("fig10_write_throughput");
 
-    for (mode, title) in [
-        (DbBench::FillSeq, "(a) sequential writes"),
-        (DbBench::FillRandom, "(b) random writes"),
+    for (mode, title, tag) in [
+        (DbBench::FillSeq, "(a) sequential writes", "seq"),
+        (DbBench::FillRandom, "(b) random writes", "random"),
     ] {
         banner(
             "Figure 10",
@@ -42,8 +43,11 @@ fn main() {
                     &value,
                 );
                 cells.push(format!("{:.1}", m.kops()));
+                inst.store.quiesce();
+                sink.record(&format!("{}/{tag}/{vs}B", kind.name()), &inst);
             }
             row(kind.name(), &cells);
         }
     }
+    sink.write();
 }

@@ -1,0 +1,99 @@
+//! Validate a figure metrics artifact produced by [`cachekv_bench::MetricsSink`].
+//!
+//! Usage: `validate_metrics [path ...]` — defaults to
+//! `$CACHEKV_METRICS_DIR/fig10_write_throughput.json`. Exits nonzero if any
+//! artifact is missing, unparseable, or lacks the expected keys; CI's bench
+//! smoke job runs this after a scaled-down figure run.
+
+use cachekv_bench::MetricsSink;
+use cachekv_obs::{Json, StatsSnapshot};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate_metrics: {msg}");
+    std::process::exit(1);
+}
+
+fn validate(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    let doc = Json::parse(&text)
+        .unwrap_or_else(|e| fail(&format!("{} is not valid JSON: {e}", path.display())));
+
+    let fig = doc
+        .get("figure")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("missing top-level \"figure\" string"));
+    let systems = doc
+        .get("systems")
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| fail("missing top-level \"systems\" object"));
+    if systems.is_empty() {
+        fail("\"systems\" is empty — no snapshots were recorded");
+    }
+
+    let mut instrumented = 0usize;
+    for (label, entry) in systems {
+        // Every entry must be a full StatsSnapshot document.
+        let snap = StatsSnapshot::from_json(entry)
+            .unwrap_or_else(|e| fail(&format!("{label}: bad snapshot: {e}")));
+        if snap.system.is_empty() {
+            fail(&format!("{label}: empty \"system\" name"));
+        }
+        if !snap.device.media_write_bytes.is_multiple_of(256) {
+            fail(&format!(
+                "{label}: media_write_bytes {} is not XPLine (256 B) aligned",
+                snap.device.media_write_bytes
+            ));
+        }
+        if snap.device.xpbuffer_hits + snap.device.xpbuffer_misses != snap.device.cpu_writes {
+            fail(&format!("{label}: xpbuffer hits+misses != cpu_writes"));
+        }
+        if !snap.memory.counters.is_empty() {
+            instrumented += 1;
+        }
+        // CacheKV snapshots must carry the per-phase put breakdown.
+        if snap.system == "CacheKV" {
+            for key in [
+                "core.put.phase.lock_wait.total_ns",
+                "core.put.phase.alloc.total_ns",
+                "core.put.phase.index_update.total_ns",
+                "core.put.phase.data_copy.total_ns",
+                "core.put.phase.persist.total_ns",
+                "core.put.ops",
+                "core.puts",
+                "core.seals",
+                "core.flushes",
+            ] {
+                if !snap.memory.counters.contains_key(key) {
+                    fail(&format!("{label}: missing memory counter {key}"));
+                }
+            }
+            if !snap
+                .memory
+                .histograms
+                .contains_key("core.put.phase.persist.ns")
+            {
+                fail(&format!("{label}: missing persist phase histogram"));
+            }
+        }
+    }
+    if instrumented == 0 {
+        fail("no snapshot carries memory-component metrics");
+    }
+    println!(
+        "validate_metrics: {} ok — figure {fig}, {} labels, {instrumented} instrumented",
+        path.display(),
+        systems.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        validate(&MetricsSink::dir().join("fig10_write_throughput.json"));
+    } else {
+        for a in &args {
+            validate(std::path::Path::new(a));
+        }
+    }
+}

@@ -15,7 +15,9 @@ use cachekv::{CacheKv, CacheKvConfig, Techniques};
 use cachekv_baselines::{BaselineOptions, NoveLsm, SlmDb};
 use cachekv_cache::{CacheConfig, Hierarchy};
 use cachekv_lsm::{KvStore, LsmConfig, LsmTree, StorageConfig};
+use cachekv_obs::{Json, StatsSnapshot};
 use cachekv_pmem::{Clock, ClockMode, PmemConfig, PmemDevice};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Every system the paper's figures compare.
@@ -134,6 +136,90 @@ pub struct Instance {
     pub kind: SystemKind,
     pub store: Arc<dyn KvStore>,
     pub hier: Arc<Hierarchy>,
+}
+
+impl Instance {
+    /// A [`StatsSnapshot`] JSON document for this system. Instrumented
+    /// stores report through [`KvStore::snapshot_json`]; uninstrumented
+    /// ones fall back to a device/cache-only snapshot so every label in a
+    /// figure artifact carries at least the hardware counters.
+    pub fn snapshot_json(&self) -> String {
+        self.store.snapshot_json().unwrap_or_else(|| {
+            StatsSnapshot {
+                system: self.kind.name().to_string(),
+                device: self.hier.pmem_stats(),
+                cache: self.hier.cache_stats(),
+                memory: Default::default(),
+                lsm: Default::default(),
+            }
+            .to_json_string()
+        })
+    }
+}
+
+/// Collects per-label [`StatsSnapshot`] documents during a figure run and
+/// writes them as one JSON artifact to `$CACHEKV_METRICS_DIR/<fig>.json`
+/// (default `target/metrics/<fig>.json`).
+pub struct MetricsSink {
+    fig: String,
+    systems: Vec<(String, Json)>,
+}
+
+impl MetricsSink {
+    pub fn new(fig: &str) -> Self {
+        MetricsSink {
+            fig: fig.to_string(),
+            systems: Vec::new(),
+        }
+    }
+
+    /// Directory metric artifacts land in.
+    pub fn dir() -> PathBuf {
+        std::env::var("CACHEKV_METRICS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/metrics"))
+    }
+
+    /// Record `inst`'s snapshot under `label` (e.g. `"CacheKV/random/64B"`).
+    pub fn record(&mut self, label: &str, inst: &Instance) {
+        self.record_json(label, &inst.snapshot_json());
+    }
+
+    /// Record a pre-rendered snapshot document under `label`.
+    pub fn record_json(&mut self, label: &str, json: &str) {
+        let doc = Json::parse(json).unwrap_or_else(|e| panic!("bad snapshot for {label}: {e}"));
+        self.systems.push((label.to_string(), doc));
+    }
+
+    /// Write the combined artifact; returns its path (best-effort: I/O
+    /// errors are reported to stderr, not fatal to the figure run).
+    pub fn write(&self) -> Option<PathBuf> {
+        let mut systems = std::collections::BTreeMap::new();
+        for (label, doc) in &self.systems {
+            systems.insert(label.clone(), doc.clone());
+        }
+        let doc = Json::obj(vec![
+            ("figure", Json::Str(self.fig.clone())),
+            ("labels", Json::UInt(self.systems.len() as u64)),
+            ("systems", Json::Obj(systems)),
+        ]);
+        let dir = Self::dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("metrics sink: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{}.json", self.fig));
+        match std::fs::write(&path, format!("{doc}\n")) {
+            Ok(()) => {
+                println!("(metrics artifact: {})", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("metrics sink: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
 }
 
 /// Build a fresh hierarchy with spin-injected latencies.

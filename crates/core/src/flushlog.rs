@@ -29,6 +29,7 @@ use cachekv_cache::Hierarchy;
 use cachekv_pmem::fault_context;
 use cachekv_storage::{PmemObject, WalReader, WalWriter};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const REC_POOL: u8 = 1;
@@ -56,6 +57,10 @@ pub struct FlushLog {
     base: u64,
     cap: u64,
     state: Mutex<LogState>,
+    /// Records appended this process lifetime (metrics).
+    appends: AtomicU64,
+    /// Compacting resets performed this process lifetime (metrics).
+    resets: AtomicU64,
 }
 
 fn half_cap_of(cap: u64) -> u64 {
@@ -96,6 +101,8 @@ impl FlushLog {
             base,
             cap,
             state: Mutex::new(LogState { epoch: 1, writer }),
+            appends: AtomicU64::new(0),
+            resets: AtomicU64::new(0),
         };
         log.publish_epoch(1);
         log
@@ -158,6 +165,8 @@ impl FlushLog {
                 epoch,
                 writer: WalWriter::new(obj),
             }),
+            appends: AtomicU64::new(0),
+            resets: AtomicU64::new(0),
         };
         (pool, flushed, log)
     }
@@ -180,6 +189,7 @@ impl FlushLog {
         let mut rec = Vec::with_capacity(17);
         Self::encode_pool(&mut rec, base, size);
         self.state.lock().writer.append(&rec);
+        self.appends.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one flushed table.
@@ -187,6 +197,17 @@ impl FlushLog {
         let mut rec = Vec::with_capacity(25);
         Self::encode_flushed(&mut rec, gen, base, len);
         self.state.lock().writer.append(&rec);
+        self.appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records appended since this handle was created (monotonic).
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Compacting resets since this handle was created (monotonic).
+    pub fn resets(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
     }
 
     /// Compact the log after a dump: keep only the pool record and the
@@ -214,6 +235,7 @@ impl FlushLog {
         self.publish_epoch(next);
         st.epoch = next;
         st.writer = w;
+        self.resets.fetch_add(1, Ordering::Relaxed);
     }
 }
 

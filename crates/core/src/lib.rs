@@ -61,6 +61,7 @@ pub mod config;
 pub mod crashtest;
 pub mod flushlog;
 pub mod index;
+pub mod metrics;
 pub mod pool;
 pub mod store;
 pub mod subtable;

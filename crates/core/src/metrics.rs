@@ -1,0 +1,81 @@
+//! CacheKV's registered instruments.
+//!
+//! One [`StoreObs`] per store instance, shared by the front-end write/read
+//! paths and the background flush/maintenance threads. All hot-path handles
+//! are pre-fetched `Arc`s so recording is purely atomic; the registry lock
+//! is only taken at store construction and at snapshot time.
+
+use std::sync::Arc;
+
+use cachekv_obs::{Counter, Gauge, Histogram, PhaseSet, Registry, TimeSource};
+
+/// Instruments for the memory component and its pipelines.
+pub struct StoreObs {
+    pub registry: Registry,
+    pub time_source: TimeSource,
+
+    // Front-end operations.
+    pub puts: Arc<Counter>,
+    pub gets: Arc<Counter>,
+    pub deletes: Arc<Counter>,
+    /// Whole-op write latency (puts + deletes share the write path).
+    pub write_ns: Arc<Histogram>,
+    /// Whole-op get latency.
+    pub get_ns: Arc<Histogram>,
+    /// Figure 5 phase decomposition of the write path.
+    pub put_phases: PhaseSet,
+
+    // Seal / flush pipeline.
+    pub seals: Arc<Counter>,
+    /// Sub-MemTables force-sealed away from an idle peer core (the
+    /// contention signal behind Figure 12).
+    pub steals: Arc<Counter>,
+    pub flushes: Arc<Counter>,
+    pub flushed_bytes: Arc<Counter>,
+    pub flush_ns: Arc<Histogram>,
+    /// Sealed tables queued for flushing, not yet flushed.
+    pub flush_queue_depth: Arc<Gauge>,
+
+    // Lazy index update.
+    pub liu_syncs: Arc<Counter>,
+
+    // Sub-skiplist compaction and L0 dumps.
+    pub sc_merges: Arc<Counter>,
+    pub sc_merge_ns: Arc<Histogram>,
+    pub l0_dumps: Arc<Counter>,
+    pub l0_dump_entries: Arc<Counter>,
+
+    // Recovery.
+    pub recoveries: Arc<Counter>,
+    pub recovery_ns: Arc<Histogram>,
+}
+
+impl StoreObs {
+    /// Register every instrument under the `core.` namespace.
+    pub fn new(time_source: TimeSource) -> Self {
+        let registry = Registry::new();
+        StoreObs {
+            time_source,
+            puts: registry.counter("core.puts"),
+            gets: registry.counter("core.gets"),
+            deletes: registry.counter("core.deletes"),
+            write_ns: registry.histogram("core.write_ns"),
+            get_ns: registry.histogram("core.get_ns"),
+            put_phases: PhaseSet::register(&registry, "core.put", time_source),
+            seals: registry.counter("core.seals"),
+            steals: registry.counter("core.steals"),
+            flushes: registry.counter("core.flushes"),
+            flushed_bytes: registry.counter("core.flushed_bytes"),
+            flush_ns: registry.histogram("core.flush_ns"),
+            flush_queue_depth: registry.gauge("core.flush.queue_depth"),
+            liu_syncs: registry.counter("core.liu.syncs"),
+            sc_merges: registry.counter("core.sc.merges"),
+            sc_merge_ns: registry.histogram("core.sc.merge_ns"),
+            l0_dumps: registry.counter("core.l0.dumps"),
+            l0_dump_entries: registry.counter("core.l0.dump_entries"),
+            recoveries: registry.counter("core.recoveries"),
+            recovery_ns: registry.histogram("core.recovery_ns"),
+            registry,
+        }
+    }
+}

@@ -35,7 +35,11 @@ pub struct Pool {
     slots: Mutex<Vec<Slot>>,
     freed: Condvar,
     /// Times a core failed to find a free sub-MemTable (Section III-A).
+    /// Reset whenever the elasticity threshold trips, so it is a *window*
+    /// counter, not a lifetime one.
     pub miss_counter: AtomicU64,
+    /// Lifetime acquire misses — never reset, safe for monotonic metrics.
+    total_misses: AtomicU64,
     miss_threshold: u64,
     /// Set when the miss counter crossed the threshold; the next release
     /// performs the split (there is nothing free to split at miss time).
@@ -60,6 +64,7 @@ impl Pool {
             "pool too small for one sub-MemTable"
         );
         hier.cat_lock(base, size);
+        Self::warm_locked(&hier, base, size);
         let mut slots = Vec::new();
         let mut cur = base + DIR_BYTES;
         while cur + subtable_bytes <= base + size {
@@ -77,6 +82,7 @@ impl Pool {
             slots: Mutex::new(slots),
             freed: Condvar::new(),
             miss_counter: AtomicU64::new(0),
+            total_misses: AtomicU64::new(0),
             miss_threshold,
             split_pending: AtomicU64::new(0),
             calm_acquires: AtomicU64::new(0),
@@ -89,6 +95,22 @@ impl Pool {
             pool.write_directory(&slots);
         }
         pool
+    }
+
+    /// Read the freshly locked region once, pulling every line into the
+    /// locked partition. Intel CAT pseudo-locking does the same at setup
+    /// (the region is streamed through the locked ways before use); it
+    /// also means runtime appends never fill from the device, so their
+    /// simulated cost cannot depend on concurrent XPBuffer state.
+    fn warm_locked(hier: &Hierarchy, base: u64, size: u64) {
+        let mut buf = [0u8; 4096];
+        let mut cur = base;
+        let end = base + size;
+        while cur < end {
+            let n = buf.len().min((end - cur) as usize);
+            hier.load(cur, &mut buf[..n]);
+            cur += n as u64;
+        }
     }
 
     /// Re-attach to an existing pool after a crash: re-establish the CAT
@@ -126,6 +148,7 @@ impl Pool {
         miss_threshold: u64,
     ) -> Self {
         hier.cat_lock(base, size);
+        Self::warm_locked(&hier, base, size);
         let mut hdr = [0u8; 8];
         hier.load(base, &mut hdr);
         let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
@@ -146,6 +169,7 @@ impl Pool {
             slots: Mutex::new(slots),
             freed: Condvar::new(),
             miss_counter: AtomicU64::new(0),
+            total_misses: AtomicU64::new(0),
             miss_threshold,
             split_pending: AtomicU64::new(0),
             calm_acquires: AtomicU64::new(0),
@@ -227,6 +251,7 @@ impl Pool {
     /// next release (nothing is free to split at miss time).
     pub fn note_miss(&self) {
         let misses = self.miss_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        self.total_misses.fetch_add(1, Ordering::Relaxed);
         self.calm_acquires.store(0, Ordering::Relaxed);
         if misses >= self.miss_threshold {
             self.miss_counter.store(0, Ordering::Relaxed);
@@ -264,7 +289,9 @@ impl Pool {
         st.reset_free();
         if self.split_pending.swap(0, Ordering::Relaxed) != 0 {
             self.split_one_free();
-        } else if self.calm_acquires.load(Ordering::Relaxed) >= self.miss_threshold * 8 {
+        } else if self.calm_acquires.load(Ordering::Relaxed)
+            >= self.miss_threshold.saturating_mul(8)
+        {
             self.merge_free_buddies();
         }
         self.freed.notify_all();
@@ -351,6 +378,11 @@ impl Pool {
     /// Total slot count.
     pub fn slot_count(&self) -> usize {
         self.slots.lock().len()
+    }
+
+    /// Lifetime acquire misses (monotonic, unlike `miss_counter`).
+    pub fn total_misses(&self) -> u64 {
+        self.total_misses.load(Ordering::Relaxed)
     }
 }
 

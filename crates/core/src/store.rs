@@ -6,12 +6,14 @@ use crate::flushlog::FlushLog;
 use crate::index::{
     read_record, try_read_record, FlushedTable, GlobalIndex, SubIndex, TableEntries,
 };
+use crate::metrics::StoreObs;
 use crate::pool::Pool;
 use crate::subtable::{Append, SlotState, SubTable, DATA_OFF};
 use cachekv_cache::Hierarchy;
 use cachekv_lsm::kv::{meta_kind, pack_meta, Entry, EntryKind, Error, KvStore, Result};
 use cachekv_lsm::tree::PmemLayout;
 use cachekv_lsm::StorageComponent;
+use cachekv_obs::{Phase, StatsSnapshot, TimeSource};
 use cachekv_storage::PmemAllocator;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -69,6 +71,7 @@ struct Shared {
     maint_tx: Sender<MaintMsg>,
     /// Serializes housekeeping (compaction + dump) across callers.
     housekeep_lock: Mutex<()>,
+    obs: StoreObs,
 }
 
 /// CacheKV (Section III). See the crate docs for the architecture.
@@ -138,6 +141,7 @@ impl CacheKv {
     /// re-register flushed tables from the flush log, rebuild the global
     /// skiplist, and replay the LSM manifest.
     pub fn recover(hier: Arc<Hierarchy>, cfg: CacheKvConfig) -> Result<Self> {
+        let t0 = std::time::Instant::now();
         let layout = PmemLayout::standard(hier.device().capacity());
         let alloc = Arc::new(PmemAllocator::new(layout.arena_base, layout.arena_cap));
         let storage = StorageComponent::recover(
@@ -230,12 +234,18 @@ impl CacheKv {
                 .sealing
                 .push((st.clone(), index.clone()));
             *kv.shared.pending_flushes.lock() += 1;
+            kv.shared.obs.flush_queue_depth.inc();
             kv.flush_tx
                 .send(FlushMsg::Seal(st, index))
                 .expect("flush thread alive");
         }
         kv.shared.storage.versions().bump_seq_to(crash_max_seq);
         kv.quiesce();
+        kv.shared.obs.recoveries.inc();
+        kv.shared
+            .obs
+            .recovery_ns
+            .record((t0.elapsed().as_nanos() as u64).max(1));
         Ok(kv)
     }
 
@@ -251,6 +261,7 @@ impl CacheKv {
         next_gen: u64,
     ) -> Self {
         let (maint_tx, maint_rx) = unbounded::<MaintMsg>();
+        let obs = StoreObs::new(TimeSource::for_mode(hier.device().clock().mode()));
         let shared = Arc::new(Shared {
             hier,
             alloc,
@@ -264,6 +275,7 @@ impl CacheKv {
             stop: AtomicBool::new(false),
             maint_tx: maint_tx.clone(),
             housekeep_lock: Mutex::new(()),
+            obs,
             cfg,
         });
         let cores = (0..shared.cfg.num_cores)
@@ -339,6 +351,7 @@ impl CacheKv {
             if let Some(st) = cs.st.take() {
                 st.seal();
                 let index = cs.index.clone();
+                self.shared.obs.steals.inc();
                 self.seal_to_flush(st, index);
                 return true;
             }
@@ -354,6 +367,8 @@ impl CacheKv {
             .sealing
             .push((st.clone(), index.clone()));
         *self.shared.pending_flushes.lock() += 1;
+        self.shared.obs.seals.inc();
+        self.shared.obs.flush_queue_depth.inc();
         self.flush_tx
             .send(FlushMsg::Seal(st, index))
             .expect("flush thread alive");
@@ -376,10 +391,31 @@ impl CacheKv {
     }
 
     fn write(&self, key: &[u8], value: &[u8], kind: EntryKind) -> Result<()> {
+        let obs = &self.shared.obs;
+        match kind {
+            EntryKind::Put => obs.puts.inc(),
+            EntryKind::Delete => obs.deletes.inc(),
+        }
+        let op = obs.time_source.begin();
+        let out = self.write_inner(key, value, kind);
+        obs.write_ns.record(op.elapsed_ns());
+        obs.put_phases.op();
+        out
+    }
+
+    /// The write path, decomposed into the paper's Figure 5 phases: lock
+    /// wait, allocation, data copy, index update, persistence handoff.
+    fn write_inner(&self, key: &[u8], value: &[u8], kind: EntryKind) -> Result<()> {
+        let obs = &self.shared.obs;
+        let src = obs.time_source;
         let core = self.core_id();
+        let t = src.begin();
         let mut cs = self.cores[core].lock();
+        obs.put_phases.record(Phase::LockWait, t.elapsed_ns());
         if cs.st.is_none() {
+            let t = src.begin();
             let st = self.acquire_for(core);
+            obs.put_phases.record(Phase::Alloc, t.elapsed_ns());
             cs.index = SubIndex::for_data_capacity(st.data_capacity());
             cs.st = Some(st);
         }
@@ -387,8 +423,12 @@ impl CacheKv {
         let meta = pack_meta(seq, kind);
         loop {
             let st = cs.st.as_ref().expect("core has a sub-MemTable").clone();
-            match st.append(key, meta, value, &mut cs.scratch)? {
+            let t = src.begin();
+            let appended = st.append(key, meta, value, &mut cs.scratch)?;
+            obs.put_phases.record(Phase::DataCopy, t.elapsed_ns());
+            match appended {
                 Append::Ok(off) => {
+                    let t = src.begin();
                     if self.shared.cfg.techniques.lazy_index {
                         cs.writes_since_sync += 1;
                         if cs.writes_since_sync >= self.shared.cfg.sync_every {
@@ -398,16 +438,21 @@ impl CacheKv {
                     } else {
                         cs.index.insert_direct(key, meta, off);
                     }
+                    obs.put_phases.record(Phase::IndexUpdate, t.elapsed_ns());
                     return Ok(());
                 }
                 Append::Full => {
                     // Seal, make visible to readers, hand to a flush thread,
                     // grab a fresh sub-MemTable.
+                    let t = src.begin();
                     st.seal();
                     cs.st = None;
                     let index = cs.index.clone();
                     self.seal_to_flush(st, index);
+                    obs.put_phases.record(Phase::Persist, t.elapsed_ns());
+                    let t = src.begin();
                     let fresh = self.acquire_for(core);
+                    obs.put_phases.record(Phase::Alloc, t.elapsed_ns());
                     cs.index = SubIndex::for_data_capacity(fresh.data_capacity());
                     cs.st = Some(fresh);
                     cs.writes_since_sync = 0;
@@ -436,6 +481,48 @@ impl CacheKv {
             m.flushed_bytes,
         )
     }
+
+    /// Cross-layer metrics snapshot: device and cache counters, the memory
+    /// component's registry (plus sampled pool / LIU / flush-log state), and
+    /// the LSM storage component's registry.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let s = &self.shared;
+        let mut memory = s.obs.registry.export();
+        // LIU lag: writes per core not yet reflected in its sub-skiplist.
+        // Core locks are taken one at a time (same first-lock order as the
+        // write path, and never while holding `mem`).
+        let mut lag_total = 0u64;
+        let mut lag_max = 0u64;
+        for c in &self.cores {
+            let lag = c.lock().writes_since_sync;
+            lag_total += lag;
+            lag_max = lag_max.max(lag);
+        }
+        memory.insert_gauge("core.liu.lag_total", lag_total as i64);
+        memory.insert_gauge("core.liu.lag_max", lag_max as i64);
+        memory.insert_counter("core.pool.misses", s.pool.total_misses());
+        memory.insert_gauge("core.pool.slots", s.pool.slot_count() as i64);
+        memory.insert_gauge("core.pool.free_slots", s.pool.free_slots() as i64);
+        memory.insert_counter("core.flushlog.appends", s.flushlog.appends());
+        memory.insert_counter("core.flushlog.resets", s.flushlog.resets());
+        {
+            let m = s.mem.read();
+            memory.insert_gauge("core.mem.sealing_tables", m.sealing.len() as i64);
+            memory.insert_gauge("core.mem.flushed_tables", m.flushed.len() as i64);
+            memory.insert_gauge(
+                "core.mem.global_keys",
+                m.global.as_ref().map_or(0, |g| g.len()) as i64,
+            );
+            memory.insert_gauge("core.mem.flushed_bytes", m.flushed_bytes as i64);
+        }
+        StatsSnapshot {
+            system: self.name().to_string(),
+            device: s.hier.pmem_stats(),
+            cache: s.hier.cache_stats(),
+            memory,
+            lsm: s.storage.export_metrics(),
+        }
+    }
 }
 
 impl KvStore for CacheKv {
@@ -448,6 +535,44 @@ impl KvStore for CacheKv {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let obs = &self.shared.obs;
+        obs.gets.inc();
+        let op = obs.time_source.begin();
+        let out = self.get_inner(key);
+        obs.get_ns.record(op.elapsed_ns());
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        match (
+            self.shared.cfg.techniques.lazy_index,
+            self.shared.cfg.techniques.compaction,
+        ) {
+            (false, _) => "PCSM",
+            (true, false) => "PCSM+LIU",
+            (true, true) => "CacheKV",
+        }
+    }
+
+    fn quiesce(&self) {
+        {
+            let mut pending = self.shared.pending_flushes.lock();
+            while *pending > 0 {
+                self.shared.flush_idle.wait(&mut pending);
+            }
+        }
+        // One synchronous housekeeping round (compaction + possible dump).
+        housekeep(&self.shared);
+        self.shared.storage.wait_idle();
+    }
+
+    fn snapshot_json(&self) -> Option<String> {
+        Some(self.snapshot().to_json_string())
+    }
+}
+
+impl CacheKv {
+    fn get_inner(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let s = &self.shared;
         let mut best: Option<(u64, Option<Vec<u8>>)> = None;
         let consider =
@@ -525,29 +650,6 @@ impl KvStore for CacheKv {
         }
         Ok(best.and_then(|(_, v)| v))
     }
-
-    fn name(&self) -> &'static str {
-        match (
-            self.shared.cfg.techniques.lazy_index,
-            self.shared.cfg.techniques.compaction,
-        ) {
-            (false, _) => "PCSM",
-            (true, false) => "PCSM+LIU",
-            (true, true) => "CacheKV",
-        }
-    }
-
-    fn quiesce(&self) {
-        {
-            let mut pending = self.shared.pending_flushes.lock();
-            while *pending > 0 {
-                self.shared.flush_idle.wait(&mut pending);
-            }
-        }
-        // One synchronous housekeeping round (compaction + possible dump).
-        housekeep(&self.shared);
-        self.shared.storage.wait_idle();
-    }
 }
 
 impl Drop for CacheKv {
@@ -586,7 +688,11 @@ fn flush_loop(s: &Arc<Shared>, rx: &Receiver<FlushMsg>) {
         match msg {
             FlushMsg::Stop => return,
             FlushMsg::Seal(st, index) => {
+                let t = s.obs.time_source.begin();
                 flush_one(s, st, index);
+                s.obs.flushes.inc();
+                s.obs.flush_ns.record(t.elapsed_ns());
+                s.obs.flush_queue_depth.dec();
                 let mut pending = s.pending_flushes.lock();
                 *pending -= 1;
                 if *pending == 0 {
@@ -613,6 +719,7 @@ fn flush_one(s: &Arc<Shared>, st: SubTable, index: Arc<SubIndex>) {
         let data = s.hier.load_vec(st.base + DATA_OFF, len as usize);
         s.hier.nt_store(base, &data);
         s.hier.sfence();
+        s.obs.flushed_bytes.add(len);
         let gen = s.next_gen.fetch_add(1, Ordering::Relaxed);
         // Log and publish under one lock so a concurrent dump's log reset
         // cannot wipe this record before the table is in the survivor set.
@@ -650,6 +757,7 @@ fn maint_loop(s: &Arc<Shared>, rx: &Receiver<MaintMsg>, cores: &Arc<Vec<CoreRef>
                         let cs = m.lock();
                         if let Some(st) = &cs.st {
                             cs.index.sync(st);
+                            s.obs.liu_syncs.inc();
                         }
                     });
                 }
@@ -677,6 +785,7 @@ fn housekeep(s: &Arc<Shared>) {
 
     // Phase 1: sub-skiplist compaction into the global skiplist.
     if s.cfg.techniques.compaction {
+        let t = s.obs.time_source.begin();
         let (sources, new_global) = {
             let m = s.mem.read();
             if m.flushed.is_empty() {
@@ -697,6 +806,9 @@ fn housekeep(s: &Arc<Shared>) {
             m.flushed
                 .retain(|ft| !sources.iter().any(|(gen, _)| *gen == ft.gen));
             m.global = Some(g);
+            drop(m);
+            s.obs.sc_merges.inc();
+            s.obs.sc_merge_ns.record(t.elapsed_ns());
         }
     }
 
@@ -743,6 +855,8 @@ fn housekeep(s: &Arc<Shared>) {
             }
             panic!("L0 ingest: {e:?}");
         }
+        s.obs.l0_dumps.inc();
+        s.obs.l0_dump_entries.add(entries.len() as u64);
     }
     let mut m = s.mem.write();
     // Concurrent flushes may have added new gens; only retire what we

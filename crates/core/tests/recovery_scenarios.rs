@@ -155,6 +155,38 @@ fn pcsm_variant_recovers_too() {
 }
 
 #[test]
+fn snapshot_reports_recovery_metrics() {
+    // After a crash + recovery, the observability layer must tell the
+    // story: the device counted the power failure, the store recorded a
+    // (nonzero) recovery duration, and no lazy-index debt or queued
+    // flushes survive into the recovered instance.
+    let h = hier();
+    {
+        let db = CacheKv::create(h.clone(), tiny_cfg());
+        for i in 0..2_000u32 {
+            db.put(format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+    }
+    h.power_fail();
+    let db = CacheKv::recover(h, tiny_cfg()).unwrap();
+    let snap = db.snapshot();
+
+    assert!(snap.device.power_failures >= 1, "crash not counted");
+    assert_eq!(snap.memory.counters["core.recoveries"], 1);
+    let rec = &snap.memory.histograms["core.recovery_ns"];
+    assert_eq!(rec.count, 1, "exactly one recovery duration sample");
+    assert!(rec.sum > 0, "recovery duration must be nonzero");
+    // Recovery re-syncs every sub-skiplist and drains every flush: no
+    // lazy-index lag and an empty flush queue in the recovered snapshot.
+    assert_eq!(snap.memory.gauges["core.liu.lag_total"], 0);
+    assert_eq!(snap.memory.gauges["core.liu.lag_max"], 0);
+    assert_eq!(snap.memory.gauges["core.flush.queue_depth"], 0);
+    // And the recovered store still serves the data.
+    assert_eq!(db.get(b"k00099").unwrap(), Some(b"v99".to_vec()));
+}
+
+#[test]
 fn recovery_is_idempotent_without_new_writes() {
     // Crash, recover, crash again *without writing*: second recovery must
     // see the identical state (the re-flush of live sub-MemTables during

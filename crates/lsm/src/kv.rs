@@ -176,6 +176,14 @@ pub trait KvStore: Send + Sync {
     /// started so far is complete. Benchmarks call this before measuring
     /// read phases; the default is a no-op for purely synchronous stores.
     fn quiesce(&self) {}
+
+    /// JSON-serialized metrics snapshot (an `obs::StatsSnapshot` document)
+    /// covering the store's device, cache, memory-component, and LSM layers.
+    /// `None` for stores that are not instrumented; benchmark harnesses fall
+    /// back to device/cache counters in that case.
+    fn snapshot_json(&self) -> Option<String> {
+        None
+    }
 }
 
 #[cfg(test)]

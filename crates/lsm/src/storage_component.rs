@@ -13,11 +13,13 @@ use crate::memtable::Lookup;
 use crate::sstable::{build_table, TableOptions};
 use crate::version::{VersionEdit, VersionSet};
 use cachekv_cache::Hierarchy;
+use cachekv_obs::{Counter, Histogram, MetricsExport, Registry};
 use cachekv_storage::PmemAllocator;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Storage component configuration.
 #[derive(Debug, Clone)]
@@ -67,9 +69,41 @@ impl StorageConfig {
     }
 }
 
+/// Registered instruments for the storage component (paper's compaction /
+/// write-amplification accounting).
+struct LsmObs {
+    registry: Registry,
+    ingests: Arc<Counter>,
+    ingest_entries: Arc<Counter>,
+    ingest_bytes: Arc<Counter>,
+    compactions: Arc<Counter>,
+    compact_bytes_in: Arc<Counter>,
+    compact_bytes_out: Arc<Counter>,
+    compact_tables_out: Arc<Counter>,
+    compaction_ns: Arc<Histogram>,
+}
+
+impl LsmObs {
+    fn new() -> Self {
+        let registry = Registry::new();
+        LsmObs {
+            ingests: registry.counter("lsm.ingests"),
+            ingest_entries: registry.counter("lsm.ingest_entries"),
+            ingest_bytes: registry.counter("lsm.ingest_bytes"),
+            compactions: registry.counter("lsm.compactions"),
+            compact_bytes_in: registry.counter("lsm.compact_bytes_in"),
+            compact_bytes_out: registry.counter("lsm.compact_bytes_out"),
+            compact_tables_out: registry.counter("lsm.compact_tables_out"),
+            compaction_ns: registry.histogram("lsm.compaction_ns"),
+            registry,
+        }
+    }
+}
+
 struct Shared {
     vset: VersionSet,
     cfg: StorageConfig,
+    obs: LsmObs,
     /// Compactions queued or running.
     pending: Mutex<usize>,
     idle: Condvar,
@@ -112,6 +146,7 @@ impl StorageComponent {
         let shared = Arc::new(Shared {
             vset,
             cfg,
+            obs: LsmObs::new(),
             pending: Mutex::new(0),
             idle: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -152,6 +187,9 @@ impl StorageComponent {
             entries,
             &s.cfg.table_opts,
         )?;
+        s.obs.ingests.inc();
+        s.obs.ingest_entries.add(entries.len() as u64);
+        s.obs.ingest_bytes.add(meta.len);
         s.vset
             .apply(vec![VersionEdit::AddTable { level: 0, meta }])?;
         self.maybe_compact();
@@ -257,6 +295,19 @@ impl StorageComponent {
         let v = self.shared.vset.current();
         v.levels.iter().map(|l| l.len()).collect()
     }
+
+    /// Export the component's metrics: ingest/compaction counters and
+    /// histograms from the registry, plus per-level table/byte gauges
+    /// sampled from the current version.
+    pub fn export_metrics(&self) -> MetricsExport {
+        let mut out = self.shared.obs.registry.export();
+        let v = self.shared.vset.current();
+        for (i, level) in v.levels.iter().enumerate() {
+            out.insert_gauge(&format!("lsm.l{i}.tables"), level.len() as i64);
+            out.insert_gauge(&format!("lsm.l{i}.bytes"), v.level_bytes(i) as i64);
+        }
+        out
+    }
 }
 
 impl Drop for StorageComponent {
@@ -296,6 +347,8 @@ fn compaction_loop(s: &Shared) {
 }
 
 fn run_compaction(s: &Shared, job: CompactionJob) -> Result<()> {
+    let t0 = Instant::now();
+    s.obs.compact_bytes_in.add(job.input_bytes());
     let out_level = job.level + 1;
     let bottom = out_level == s.cfg.num_levels - 1;
     let iters: Vec<_> = job
@@ -315,6 +368,8 @@ fn run_compaction(s: &Shared, job: CompactionJob) -> Result<()> {
             &chunk,
             &s.cfg.table_opts,
         )?;
+        s.obs.compact_bytes_out.add(meta.len);
+        s.obs.compact_tables_out.inc();
         edits.push(VersionEdit::AddTable {
             level: out_level as u32,
             meta,
@@ -332,7 +387,14 @@ fn run_compaction(s: &Shared, job: CompactionJob) -> Result<()> {
             id: t.meta.id,
         });
     }
-    s.vset.apply(edits)
+    let out = s.vset.apply(edits);
+    if out.is_ok() {
+        s.obs.compactions.inc();
+        s.obs
+            .compaction_ns
+            .record((t0.elapsed().as_nanos() as u64).max(1));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -440,5 +502,28 @@ mod tests {
         let sc = setup(false);
         sc.ingest(&[]).unwrap();
         assert_eq!(sc.level_tables().iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn metrics_account_for_ingest_and_compaction() {
+        let sc = setup(false);
+        for round in 0..8u64 {
+            sc.ingest(&run(0, 400, round * 1_000)).unwrap();
+        }
+        let m = sc.export_metrics();
+        assert_eq!(m.counters["lsm.ingests"], 8);
+        assert_eq!(m.counters["lsm.ingest_entries"], 8 * 400);
+        assert!(m.counters["lsm.ingest_bytes"] > 0);
+        assert!(m.counters["lsm.compactions"] > 0);
+        assert!(m.counters["lsm.compact_bytes_in"] > 0);
+        assert!(m.counters["lsm.compact_bytes_out"] > 0);
+        assert_eq!(
+            m.histograms["lsm.compaction_ns"].count,
+            m.counters["lsm.compactions"]
+        );
+        // Per-level gauges match the live view.
+        for (i, &n) in sc.level_tables().iter().enumerate() {
+            assert_eq!(m.gauges[&format!("lsm.l{i}.tables")], n as i64);
+        }
     }
 }

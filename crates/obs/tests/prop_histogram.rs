@@ -1,0 +1,86 @@
+//! Property tests for the log-bucketed latency histogram: bucket counts
+//! must account for every sample, quantiles must stay within one bucket
+//! boundary of the exact sample quantile, and merging two histograms must
+//! equal recording both sample sets into one.
+
+use cachekv_obs::{bucket_index, bucket_upper, Histogram};
+use proptest::prelude::*;
+
+/// Samples spanning all magnitudes: raw `u64`s right-shifted by arbitrary
+/// amounts, so tiny, mid-range, and near-max values all occur.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((any::<u64>(), 0u32..64).prop_map(|(v, s)| v >> s), 1..200)
+}
+
+fn record_all(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    // Every sample lands in exactly one bucket.
+    #[test]
+    fn bucket_counts_sum_to_sample_count(values in samples()) {
+        let snap = record_all(&values).snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(total, values.len() as u64);
+        // And each sample's bucket is non-empty.
+        for &v in &values {
+            let b = bucket_index(v) as u8;
+            prop_assert!(snap.buckets.iter().any(|&(i, n)| i == b && n > 0));
+        }
+    }
+
+    // The reported quantile is never below the exact sample quantile and
+    // never beyond the upper boundary of the bucket holding it.
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(values in samples()) {
+        let snap = record_all(&values).snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        for q in [0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            // Same rank definition as HistogramSnapshot::quantile.
+            let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let exact = sorted[rank as usize - 1];
+            let got = snap.quantile(q);
+            prop_assert!(
+                got >= exact && got <= bucket_upper(bucket_index(exact)),
+                "q={} exact={} got={} (bucket upper {})",
+                q, exact, got, bucket_upper(bucket_index(exact))
+            );
+        }
+    }
+
+    // merge(a, b) is indistinguishable from recording `a ++ b`.
+    #[test]
+    fn merge_equals_recording_concatenation(a in samples(), b in samples()) {
+        let ha = record_all(&a);
+        let hb = record_all(&b);
+        ha.merge_from(&hb);
+
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let hc = record_all(&combined);
+        prop_assert_eq!(ha.snapshot(), hc.snapshot());
+    }
+
+    // Quantiles are monotone in q, bounded by the observed max, and the
+    // snapshot max/sum match the samples exactly.
+    #[test]
+    fn summary_stats_are_exact(values in samples()) {
+        let snap = record_all(&values).snapshot();
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(snap.sum, values.iter().fold(0u64, |s, &v| s.wrapping_add(v)));
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let q = snap.quantile(i as f64 / 20.0);
+            prop_assert!(q >= prev, "quantile not monotone at {}", i);
+            prop_assert!(q <= snap.max);
+            prev = q;
+        }
+    }
+}

@@ -3,26 +3,39 @@
 //! Device and cache operations *charge* nanoseconds to a [`Clock`]. Two modes
 //! are provided:
 //!
-//! * [`ClockMode::Counting`] — charges are summed into an atomic counter and
-//!   no real time passes. Deterministic; used by unit tests and by harnesses
-//!   that compute throughput from simulated time.
+//! * [`ClockMode::Virtual`] — charges are summed into an atomic counter and
+//!   no real time passes. Deterministic; used by unit tests, by harnesses
+//!   that compute throughput from simulated time, and by the observability
+//!   layer's phase timers (identical runs charge identical nanoseconds).
 //! * [`ClockMode::Spin`] — each charge busy-waits for the given duration, so
 //!   simulated device costs compose with *real* CPU work and *real* lock
 //!   contention. This is what the figure-reproduction benchmarks use: the
 //!   paper's Observation 2 (software overheads dominating) emerges naturally
 //!   because index updates and MemTable locks cost genuine wall-clock time.
+//!
+//! Besides the global total, every charge is also added to a **thread-local**
+//! accumulator readable via [`Clock::thread_ns`]. Phase timers diff that
+//! accumulator around a critical section to attribute simulated time to the
+//! current thread only — background flush threads charging the same clock do
+//! not perturb a foreground writer's measurement.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How charged nanoseconds are realised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClockMode {
-    /// Account only; never block.
+    /// Account only; never block. Deterministic.
     #[default]
-    Counting,
+    Virtual,
     /// Busy-wait for each charge so device latency is felt in wall-clock time.
     Spin,
+}
+
+thread_local! {
+    /// Nanoseconds charged by *this* thread to any clock.
+    static THREAD_NS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A shared simulated-time sink. Cheap to clone via `Arc` at the call sites
@@ -42,9 +55,9 @@ impl Clock {
         }
     }
 
-    /// Accounting-only clock (the default for tests).
+    /// Accounting-only virtual clock (the default for tests).
     pub fn counting() -> Self {
-        Clock::new(ClockMode::Counting)
+        Clock::new(ClockMode::Virtual)
     }
 
     /// The clock's mode.
@@ -59,6 +72,7 @@ impl Clock {
             return;
         }
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        THREAD_NS.with(|t| t.set(t.get().wrapping_add(ns)));
         if self.mode == ClockMode::Spin {
             spin_for(Duration::from_nanos(ns));
         }
@@ -67,6 +81,13 @@ impl Clock {
     /// Total nanoseconds charged so far (across all threads).
     pub fn total_ns(&self) -> u64 {
         self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds charged by the calling thread to *any* clock since it
+    /// started. Monotonically non-decreasing within a thread; diff two reads
+    /// to attribute simulated time to a code region.
+    pub fn thread_ns() -> u64 {
+        THREAD_NS.with(|t| t.get())
     }
 
     /// Reset the accumulated total (e.g., between benchmark phases).
@@ -141,5 +162,27 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.total_ns(), 4 * 10_000 * 3);
+    }
+
+    #[test]
+    fn thread_ns_is_per_thread() {
+        let c = std::sync::Arc::new(Clock::counting());
+        let base = Clock::thread_ns();
+        c.charge(10);
+        assert_eq!(Clock::thread_ns() - base, 10);
+        // Another thread's charges don't show up here.
+        let c2 = c.clone();
+        std::thread::spawn(move || {
+            let b = Clock::thread_ns();
+            c2.charge(99);
+            assert_eq!(Clock::thread_ns() - b, 99);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(Clock::thread_ns() - base, 10);
+        // Two clocks feed the same thread-local stream.
+        let other = Clock::counting();
+        other.charge(5);
+        assert_eq!(Clock::thread_ns() - base, 15);
     }
 }

@@ -10,6 +10,7 @@
 //! get <key>            point lookup
 //! del <key>            delete
 //! stats                device counters + memory-component state
+//! snap                 full four-layer StatsSnapshot as JSON
 //! crash                inject a power failure and recover
 //! help                 this text
 //! quit                 exit
@@ -81,6 +82,15 @@ fn main() {
                 );
                 println!("levels : {:?} tables", db.storage().level_tables());
             }
+            Some("snap") => {
+                let snap = db.snapshot();
+                println!("{}", snap.to_json_string());
+                println!(
+                    "(write p99 {} sim-ns over {} writes)",
+                    snap.memory.histograms["core.write_ns"].p99(),
+                    snap.memory.histograms["core.write_ns"].count
+                );
+            }
             Some("crash") => {
                 drop(db);
                 hier.power_fail();
@@ -95,7 +105,9 @@ fn main() {
                     }
                 }
             }
-            Some("help") => println!("put <k> <v> | get <k> | del <k> | stats | crash | quit"),
+            Some("help") => {
+                println!("put <k> <v> | get <k> | del <k> | stats | snap | crash | quit")
+            }
             Some("quit") | Some("exit") => break,
             Some(other) => println!("unknown command: {other} (try `help`)"),
         }
