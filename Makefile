@@ -32,5 +32,9 @@ bench:
 bench-smoke:
 	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
 		$(CARGO) bench -p cachekv-bench --bench fig10_write_throughput
+	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
+		$(CARGO) bench -p cachekv-bench --bench fig11_read_throughput
 	CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
-		$(CARGO) run -q -p cachekv-bench --bin validate_metrics
+		$(CARGO) run -q -p cachekv-bench --bin validate_metrics -- \
+		$(CURDIR)/target/metrics/fig10_write_throughput.json \
+		$(CURDIR)/target/metrics/fig11_read_throughput.json

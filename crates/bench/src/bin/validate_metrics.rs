@@ -32,6 +32,11 @@ fn validate(path: &std::path::Path) {
     }
 
     let mut instrumented = 0usize;
+    // Aggregated read-path pruning counters (fig11 must prove each fires).
+    let mut read_probes = 0u64;
+    let mut fence_skips = 0u64;
+    let mut bloom_skips = 0u64;
+    let mut lsm_short_circuits = 0u64;
     for (label, entry) in systems {
         // Every entry must be a full StatsSnapshot document.
         let snap = StatsSnapshot::from_json(entry)
@@ -50,6 +55,23 @@ fn validate(path: &std::path::Path) {
         }
         if !snap.memory.counters.is_empty() {
             instrumented += 1;
+        }
+        // The contention-free read path must never take a CoreSlot mutex:
+        // any snapshot carrying the tripwire counter must report zero.
+        if let Some(&locks) = snap.memory.counters.get("core.read.core_lock_acquisitions") {
+            if locks != 0 {
+                fail(&format!(
+                    "{label}: read path took {locks} CoreSlot locks (must be 0)"
+                ));
+            }
+        }
+        for (counter, slot) in [
+            ("core.read.probes", &mut read_probes),
+            ("core.read.fence_skips", &mut fence_skips),
+            ("core.read.bloom_skips", &mut bloom_skips),
+            ("core.read.lsm_short_circuits", &mut lsm_short_circuits),
+        ] {
+            *slot += snap.memory.counters.get(counter).copied().unwrap_or(0);
         }
         // CacheKV snapshots must carry the per-phase put breakdown.
         if snap.system == "CacheKV" {
@@ -79,6 +101,20 @@ fn validate(path: &std::path::Path) {
     }
     if instrumented == 0 {
         fail("no snapshot carries memory-component metrics");
+    }
+    // Read-figure artifacts must demonstrate every pruning mechanism
+    // firing: fences, blooms, and the LSM short-circuit.
+    if fig.contains("read") {
+        for (name, total) in [
+            ("core.read.probes", read_probes),
+            ("core.read.fence_skips", fence_skips),
+            ("core.read.bloom_skips", bloom_skips),
+            ("core.read.lsm_short_circuits", lsm_short_circuits),
+        ] {
+            if total == 0 {
+                fail(&format!("read figure: {name} never fired across labels"));
+            }
+        }
     }
     println!(
         "validate_metrics: {} ok — figure {fig}, {} labels, {instrumented} instrumented",

@@ -10,10 +10,67 @@
 
 use crate::subtable::SubTable;
 use cachekv_cache::Hierarchy;
-use cachekv_lsm::kv::{decode_record_at, Entry, RECORD_HDR};
+use cachekv_lsm::bloom::Bloom;
+use cachekv_lsm::kv::{decode_record_at, internal_cmp, Entry, RECORD_HDR};
 use cachekv_lsm::{DramSpace, SkipList};
 use parking_lot::RwLock;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
+
+/// What a [`ReadFilter`] says about probing a table for a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterVerdict {
+    /// Key is outside the table's `[min, max]` fence — cannot be present.
+    FenceSkip,
+    /// Key is in range but the bloom filter rules it out.
+    BloomSkip,
+    /// The table may hold the key; probe its index.
+    Probe,
+}
+
+/// Per-table read pruning: min/max fence keys plus a bloom filter over every
+/// indexed key. Built only for *fully synced*, immutable indexes (flushed
+/// tables, the global skiplist) — an index still lagging its table would
+/// yield false negatives. Lives in DRAM beside the sub-skiplist and is
+/// rebuilt from data on recovery; nothing about it is persisted.
+pub struct ReadFilter {
+    min: Vec<u8>,
+    max: Vec<u8>,
+    bloom: Bloom,
+}
+
+impl ReadFilter {
+    /// Build from keys in ascending order (an index iteration); duplicates
+    /// (multiple versions of one key) are allowed. `None` for an empty set.
+    pub fn from_sorted_keys(keys: &[Vec<u8>]) -> Option<ReadFilter> {
+        let min = keys.first()?.clone();
+        let max = keys.last().expect("non-empty").clone();
+        debug_assert!(min <= max, "keys must be sorted ascending");
+        Some(ReadFilter {
+            min,
+            max,
+            bloom: Bloom::build(keys.iter().map(|k| k.as_slice()), 10),
+        })
+    }
+
+    /// Fence check then bloom check for `key`.
+    #[inline]
+    pub fn check(&self, key: &[u8]) -> FilterVerdict {
+        if key < self.min.as_slice() || key > self.max.as_slice() {
+            FilterVerdict::FenceSkip
+        } else if !self.bloom.may_contain(key) {
+            FilterVerdict::BloomSkip
+        } else {
+            FilterVerdict::Probe
+        }
+    }
+
+    /// The `[min, max]` fence.
+    pub fn fences(&self) -> (&[u8], &[u8]) {
+        (&self.min, &self.max)
+    }
+}
 
 struct SubIndexInner {
     list: SkipList<DramSpace>,
@@ -117,14 +174,17 @@ impl SubIndex {
         added
     }
 
-    /// Diligent (PCSM-mode) insert, performed on the write path.
-    pub fn insert_direct(&self, key: &[u8], meta: u64, off: u64) {
+    /// Diligent (PCSM-mode) insert, performed on the write path. `rec_len`
+    /// is the full record length at `off`: advancing the list tail past it
+    /// keeps the unindexed suffix empty, so lock-free readers scanning
+    /// `[list tail, table tail)` never re-decode already-indexed records.
+    pub fn insert_direct(&self, key: &[u8], meta: u64, off: u64, rec_len: u64) {
         let mut g = self.inner.write();
         g.list
             .insert(key, meta, &(off as u32).to_le_bytes())
             .expect("sub-skiplist arena sized for its data region");
         g.synced_count += 1;
-        // Tail advances with the table; exact value is refreshed on sync.
+        g.synced_tail = g.synced_tail.max(off + rec_len);
     }
 
     /// Newest `(meta, data-region offset)` for `key`.
@@ -145,6 +205,14 @@ impl SubIndex {
                 (e.key, e.meta, off)
             })
             .collect()
+    }
+
+    /// Build a [`ReadFilter`] over every indexed key. Only meaningful once
+    /// the index is fully synced with its (now immutable) table.
+    pub fn build_filter(&self) -> Option<ReadFilter> {
+        let g = self.inner.read();
+        let keys: Vec<Vec<u8>> = g.list.iter_keys().map(|(k, _)| k).collect();
+        ReadFilter::from_sorted_keys(&keys)
     }
 
     /// Number of indexed records.
@@ -187,6 +255,8 @@ pub struct FlushedTable {
     pub len: u64,
     /// The table's sub-skiplist.
     pub index: Arc<SubIndex>,
+    /// Fence + bloom pruning for reads; `None` only for an empty table.
+    pub filter: Option<ReadFilter>,
 }
 
 /// One indexed record: `(key, meta, data-region offset)`.
@@ -200,6 +270,36 @@ pub type TableEntries = (u64, Vec<IndexedEntry>);
 pub struct GlobalIndex {
     list: SkipList<DramSpace>,
     entries: usize,
+    /// Total key bytes stored — sizes the arena of the *next* merge round.
+    key_bytes: usize,
+    filter: Option<ReadFilter>,
+}
+
+/// One k-way-merge stream head: orders by [`internal_cmp`] (key ascending,
+/// newest version first), tie-broken by stream id for determinism.
+struct MergeHead {
+    key: Vec<u8>,
+    meta: u64,
+    gen: u64,
+    off: u32,
+    src: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        internal_cmp(&self.key, self.meta, &other.key, other.meta).then(self.src.cmp(&other.src))
+    }
 }
 
 impl GlobalIndex {
@@ -207,46 +307,92 @@ impl GlobalIndex {
     /// included) plus an optional previous global index into a fresh,
     /// deduplicated global skiplist — the sub-skiplist compaction of
     /// Figure 9. Only the newest version of each key survives.
-    pub fn compact(prev: Option<&GlobalIndex>, sources: &[TableEntries]) -> GlobalIndex {
-        // Gather (key, meta, gen, off) from every source, then sort in
-        // internal order and keep the first (= newest) per key.
-        let mut all: Vec<(Vec<u8>, u64, u64, u32)> = Vec::new();
+    ///
+    /// Every input stream is already in internal order (sub-skiplists and
+    /// the previous global index iterate sorted), so a k-way heap merge
+    /// folds them in one pass: no global re-sort, and source keys are moved
+    /// — never cloned — into the new index.
+    pub fn compact(prev: Option<&GlobalIndex>, sources: Vec<TableEntries>) -> GlobalIndex {
+        // Arena budget: every input entry could survive (duplicates only
+        // leave slack).
+        let src_bytes: usize = sources
+            .iter()
+            .flat_map(|(_, es)| es.iter())
+            .map(|(k, ..)| k.len() + 48)
+            .sum();
+        let prev_bytes = prev.map_or(0, |p| p.key_bytes + p.entries * 48);
+        let mut list = SkipList::new(DramSpace::new(src_bytes + prev_bytes + 4096));
+
+        type Stream<'a> = Box<dyn Iterator<Item = (Vec<u8>, u64, u64, u32)> + 'a>;
+        let mut streams: Vec<Stream<'_>> = Vec::with_capacity(sources.len() + 1);
         if let Some(p) = prev {
-            for e in p.list.iter() {
+            streams.push(Box::new(p.list.iter().map(|e| {
                 let gen = u64::from_le_bytes(e.value[0..8].try_into().unwrap());
                 let off = u32::from_le_bytes(e.value[8..12].try_into().unwrap());
-                all.push((e.key, e.meta, gen, off));
-            }
+                (e.key, e.meta, gen, off)
+            })));
         }
         for (gen, entries) in sources {
-            for (key, meta, off) in entries {
-                all.push((key.clone(), *meta, *gen, *off));
-            }
+            streams.push(Box::new(
+                entries.into_iter().map(move |(k, m, off)| (k, m, gen, off)),
+            ));
         }
-        all.sort_by(|a, b| cachekv_lsm::kv::internal_cmp(&a.0, a.1, &b.0, b.1));
-        let node_budget: usize = all.iter().map(|(k, ..)| k.len() + 48).sum::<usize>() + 4096;
-        let mut list = SkipList::new(DramSpace::new(node_budget));
-        let mut entries = 0;
-        let mut last_key: Option<&[u8]> = None;
-        // Borrow gymnastics: collect survivor indices first.
-        let mut keep = Vec::with_capacity(all.len());
-        for (i, (key, ..)) in all.iter().enumerate() {
-            if last_key == Some(key.as_slice()) {
+
+        let mut heap: BinaryHeap<Reverse<MergeHead>> = streams
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(src, s)| {
+                s.next().map(|(key, meta, gen, off)| {
+                    Reverse(MergeHead {
+                        key,
+                        meta,
+                        gen,
+                        off,
+                        src,
+                    })
+                })
+            })
+            .collect();
+
+        // Survivor keys are kept (moved, not cloned) for the bloom build.
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        let mut key_bytes = 0usize;
+        while let Some(Reverse(head)) = heap.pop() {
+            if let Some((key, meta, gen, off)) = streams[head.src].next() {
+                heap.push(Reverse(MergeHead {
+                    key,
+                    meta,
+                    gen,
+                    off,
+                    src: head.src,
+                }));
+            }
+            // Internal order yields the newest version of a key first; any
+            // repeat of the key just emitted is stale.
+            if keys.last().is_some_and(|k| *k == head.key) {
                 continue;
             }
-            last_key = Some(key.as_slice());
-            keep.push(i);
-        }
-        for i in keep {
-            let (key, meta, gen, off) = &all[i];
             let mut v = [0u8; 12];
-            v[0..8].copy_from_slice(&gen.to_le_bytes());
-            v[8..12].copy_from_slice(&off.to_le_bytes());
-            list.insert(key, *meta, &v)
+            v[0..8].copy_from_slice(&head.gen.to_le_bytes());
+            v[8..12].copy_from_slice(&head.off.to_le_bytes());
+            list.insert(&head.key, head.meta, &v)
                 .expect("global skiplist arena sized from inputs");
-            entries += 1;
+            key_bytes += head.key.len();
+            keys.push(head.key);
         }
-        GlobalIndex { list, entries }
+        let entries = keys.len();
+        let filter = ReadFilter::from_sorted_keys(&keys);
+        GlobalIndex {
+            list,
+            entries,
+            key_bytes,
+            filter,
+        }
+    }
+
+    /// Fence + bloom pruning for reads; `None` when the index is empty.
+    pub fn filter(&self) -> Option<&ReadFilter> {
+        self.filter.as_ref()
     }
 
     /// Newest `(meta, gen, off)` for `key`.
@@ -355,7 +501,8 @@ mod tests {
             let key = format!("k{i:03}");
             let meta = pack_meta(i + 1, EntryKind::Put);
             if let Append::Ok(off) = st.append(key.as_bytes(), meta, b"v", &mut scratch).unwrap() {
-                idx.insert_direct(key.as_bytes(), meta, off);
+                let len = cachekv_lsm::kv::record_len(key.len(), 1) as u64;
+                idx.insert_direct(key.as_bytes(), meta, off, len);
             }
         }
         assert_eq!(idx.len(), 30);
@@ -383,7 +530,7 @@ mod tests {
                 )
             })
             .collect();
-        let g = GlobalIndex::compact(None, &[(1, older), (2, newer)]);
+        let g = GlobalIndex::compact(None, vec![(1, older), (2, newer)]);
         assert_eq!(g.len(), 10, "10 distinct keys survive");
         let (meta, gen, _) = g.get(b"k03").unwrap();
         assert_eq!(meta_seq(meta), 103);
@@ -396,15 +543,94 @@ mod tests {
     fn incremental_compaction_folds_previous_global() {
         let first: Vec<(Vec<u8>, u64, u32)> =
             vec![(b"a".to_vec(), pack_meta(1, EntryKind::Put), 0)];
-        let g1 = GlobalIndex::compact(None, &[(1, first)]);
+        let g1 = GlobalIndex::compact(None, vec![(1, first)]);
         let second: Vec<(Vec<u8>, u64, u32)> = vec![
             (b"a".to_vec(), pack_meta(9, EntryKind::Put), 64),
             (b"b".to_vec(), pack_meta(5, EntryKind::Put), 0),
         ];
-        let g2 = GlobalIndex::compact(Some(&g1), &[(2, second)]);
+        let g2 = GlobalIndex::compact(Some(&g1), vec![(2, second)]);
         assert_eq!(g2.len(), 2);
         assert_eq!(g2.get(b"a").unwrap().1, 2, "newer gen wins");
         assert!(g2.get(b"b").is_some());
+    }
+
+    #[test]
+    fn filter_fences_and_bloom_prune_absent_keys() {
+        let st = subtable();
+        let idx = SubIndex::for_data_capacity(st.data_capacity());
+        fill(&st, 100, 1); // keys key0000..key0039
+        idx.sync(&st);
+        let f = idx.build_filter().expect("non-empty index");
+        assert_eq!(f.fences(), (b"key0000".as_slice(), b"key0039".as_slice()));
+        assert_eq!(f.check(b"aaa"), FilterVerdict::FenceSkip);
+        assert_eq!(f.check(b"zzz"), FilterVerdict::FenceSkip);
+        assert_eq!(f.check(b"key0020"), FilterVerdict::Probe);
+        // In-range absent keys ("key0020" < probe < "key0039") are
+        // overwhelmingly bloom-skipped (1% FPR); count over many probes to
+        // tolerate false positives.
+        let skipped = (0..200)
+            .filter(|i| f.check(format!("key0020abs{i:03}").as_bytes()) == FilterVerdict::BloomSkip)
+            .count();
+        assert!(skipped > 180, "bloom pruned only {skipped}/200 absent keys");
+    }
+
+    #[test]
+    fn empty_index_builds_no_filter() {
+        let st = subtable();
+        let idx = SubIndex::for_data_capacity(st.data_capacity());
+        assert!(idx.build_filter().is_none());
+    }
+
+    #[test]
+    fn compact_builds_global_filter() {
+        let src: Vec<(Vec<u8>, u64, u32)> = (0..50)
+            .map(|i| {
+                (
+                    format!("g{i:03}").into_bytes(),
+                    pack_meta(i + 1, EntryKind::Put),
+                    i as u32 * 32,
+                )
+            })
+            .collect();
+        let g = GlobalIndex::compact(None, vec![(1, src)]);
+        let f = g.filter().expect("non-empty global index");
+        assert_eq!(f.fences(), (b"g000".as_slice(), b"g049".as_slice()));
+        assert_eq!(f.check(b"g025"), FilterVerdict::Probe);
+        assert_eq!(f.check(b"h000"), FilterVerdict::FenceSkip);
+    }
+
+    #[test]
+    fn merge_compact_matches_multiway_inputs() {
+        // Three overlapping sources with interleaved versions: the k-way
+        // merge must keep exactly the newest version of each key.
+        let mk = |seqs: &[(u32, u64)]| -> Vec<(Vec<u8>, u64, u32)> {
+            let mut v: Vec<(Vec<u8>, u64, u32)> = seqs
+                .iter()
+                .map(|&(k, s)| {
+                    (
+                        format!("m{k:03}").into_bytes(),
+                        pack_meta(s, EntryKind::Put),
+                        k * 16,
+                    )
+                })
+                .collect();
+            v.sort_by(|a, b| internal_cmp(&a.0, a.1, &b.0, b.1));
+            v
+        };
+        let g1 = GlobalIndex::compact(None, vec![(1, mk(&[(0, 1), (1, 2), (2, 3)]))]);
+        let g2 = GlobalIndex::compact(
+            Some(&g1),
+            vec![
+                (2, mk(&[(1, 10), (3, 11)])),
+                (3, mk(&[(0, 20), (2, 21), (4, 22)])),
+            ],
+        );
+        assert_eq!(g2.len(), 5);
+        assert_eq!(meta_seq(g2.get(b"m000").unwrap().0), 20);
+        assert_eq!(meta_seq(g2.get(b"m001").unwrap().0), 10);
+        assert_eq!(meta_seq(g2.get(b"m002").unwrap().0), 21);
+        assert_eq!(g2.get(b"m003").unwrap().1, 2, "gen follows newest version");
+        assert_eq!(g2.get(b"m004").unwrap().1, 3);
     }
 
     #[test]

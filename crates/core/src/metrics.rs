@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use cachekv_obs::{Counter, Gauge, Histogram, PhaseSet, Registry, TimeSource};
+use cachekv_obs::{Counter, Gauge, Histogram, PhaseSet, ReadPhaseSet, Registry, TimeSource};
 
 /// Instruments for the memory component and its pipelines.
 pub struct StoreObs {
@@ -24,6 +24,23 @@ pub struct StoreObs {
     pub get_ns: Arc<Histogram>,
     /// Figure 5 phase decomposition of the write path.
     pub put_phases: PhaseSet,
+    /// Probe-order decomposition of the read path.
+    pub get_phases: ReadPhaseSet,
+
+    // Read-path pruning (contention-free read path).
+    /// Sub-indexes actually probed (active, sealing, flushed, global).
+    pub read_probes: Arc<Counter>,
+    /// Tables skipped because the key fell outside their min/max fence.
+    pub read_fence_skips: Arc<Counter>,
+    /// Tables skipped by a bloom-filter miss (key in range, not present).
+    pub read_bloom_skips: Arc<Counter>,
+    /// LSM probes skipped because an in-memory hit dominated every
+    /// persisted sequence number.
+    pub read_lsm_short_circuits: Arc<Counter>,
+    /// CoreSlot mutex acquisitions made from inside a get. The read path
+    /// is lock-free by construction, so this must stay at zero; it exists
+    /// as a regression tripwire, asserted in tests and `validate_metrics`.
+    pub read_core_lock_acquisitions: Arc<Counter>,
 
     // Seal / flush pipeline.
     pub seals: Arc<Counter>,
@@ -62,6 +79,12 @@ impl StoreObs {
             write_ns: registry.histogram("core.write_ns"),
             get_ns: registry.histogram("core.get_ns"),
             put_phases: PhaseSet::register(&registry, "core.put", time_source),
+            get_phases: ReadPhaseSet::register(&registry, "core.get", time_source),
+            read_probes: registry.counter("core.read.probes"),
+            read_fence_skips: registry.counter("core.read.fence_skips"),
+            read_bloom_skips: registry.counter("core.read.bloom_skips"),
+            read_lsm_short_circuits: registry.counter("core.read.lsm_short_circuits"),
+            read_core_lock_acquisitions: registry.counter("core.read.core_lock_acquisitions"),
             seals: registry.counter("core.seals"),
             steals: registry.counter("core.steals"),
             flushes: registry.counter("core.flushes"),

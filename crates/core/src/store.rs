@@ -4,16 +4,19 @@
 use crate::config::CacheKvConfig;
 use crate::flushlog::FlushLog;
 use crate::index::{
-    read_record, try_read_record, FlushedTable, GlobalIndex, SubIndex, TableEntries,
+    read_record, try_read_record, FilterVerdict, FlushedTable, GlobalIndex, SubIndex, TableEntries,
 };
 use crate::metrics::StoreObs;
 use crate::pool::Pool;
 use crate::subtable::{Append, SlotState, SubTable, DATA_OFF};
 use cachekv_cache::Hierarchy;
-use cachekv_lsm::kv::{meta_kind, pack_meta, Entry, EntryKind, Error, KvStore, Result};
+use cachekv_lsm::kv::{
+    decode_record_at, meta_kind, meta_seq, pack_meta, record_len, Entry, EntryKind, Error, KvStore,
+    Result,
+};
 use cachekv_lsm::tree::PmemLayout;
 use cachekv_lsm::StorageComponent;
-use cachekv_obs::{Phase, StatsSnapshot, TimeSource};
+use cachekv_obs::{Phase, ReadPhase, StatsSnapshot, TimeSource};
 use cachekv_storage::PmemAllocator;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -29,6 +32,16 @@ struct CoreSlot {
     index: Arc<SubIndex>,
     writes_since_sync: u64,
     scratch: Vec<u8>,
+}
+
+/// What readers see of one core's *active* sub-MemTable: the table plus the
+/// sub-skiplist indexing it. Published beside the CoreSlot mutex on every
+/// table acquire/seal, so the read path probes it under an uncontended
+/// `RwLock` read guard — writers only take the write side at roll-over —
+/// and never touches the CoreSlot mutex itself.
+struct ActiveView {
+    st: SubTable,
+    index: Arc<SubIndex>,
 }
 
 /// The memory component's shared read view.
@@ -78,6 +91,17 @@ struct Shared {
 pub struct CacheKv {
     shared: Arc<Shared>,
     cores: Vec<Mutex<CoreSlot>>,
+    /// Per-core published [`ActiveView`]s, read by the lock-free read path.
+    /// Written only at table acquire/seal, while holding that core's mutex
+    /// (so the view always mirrors `CoreSlot::st`).
+    publish: Vec<RwLock<Option<ActiveView>>>,
+    /// Bit `i` set ⇒ core `i` (i < 64) has a published view: readers skip
+    /// empty cores with one load. Cores ≥ 64 are always probed.
+    active_mask: AtomicU64,
+    /// Per-core table tail up to which a reader already requested a
+    /// background LIU sync — dedupes the reader-side sync nudges so a
+    /// lagging index costs one maintenance message, not one per get.
+    sync_req: Vec<AtomicU64>,
     flush_tx: Sender<FlushMsg>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     next_core: AtomicUsize,
@@ -89,6 +113,9 @@ thread_local! {
     /// Cached `(store instance id, core id)`: a thread keeps its core for
     /// one store but re-registers when it touches a different instance.
     static CORE_ID: std::cell::Cell<Option<(u64, usize)>> = const { std::cell::Cell::new(None) };
+    /// Whether this thread is inside `get` — the tripwire for the read
+    /// path's lock-freedom (see `lock_core`).
+    static IN_READ: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 static STORE_IDS: AtomicU64 = AtomicU64::new(1);
@@ -200,11 +227,13 @@ impl CacheKv {
             next_gen = next_gen.max(gen + 1);
             mem.gen_regions.insert(gen, (base, len));
             mem.flushed_bytes += len;
+            let filter = index.build_filter();
             mem.flushed.push(FlushedTable {
                 gen,
                 base,
                 len,
                 index,
+                filter,
             });
         }
         storage.versions().bump_seq_to(max_seq);
@@ -288,6 +317,12 @@ impl CacheKv {
                 })
             })
             .collect();
+        let publish = (0..shared.cfg.num_cores)
+            .map(|_| RwLock::new(None))
+            .collect();
+        let sync_req = (0..shared.cfg.num_cores)
+            .map(|_| AtomicU64::new(0))
+            .collect();
         let (flush_tx, flush_rx) = unbounded::<FlushMsg>();
         let mut threads = Vec::new();
         for i in 0..shared.cfg.flush_threads {
@@ -303,6 +338,9 @@ impl CacheKv {
         let kv = CacheKv {
             shared: shared.clone(),
             cores,
+            publish,
+            active_mask: AtomicU64::new(0),
+            sync_req,
             flush_tx,
             threads: Mutex::new(threads),
             next_core: AtomicUsize::new(0),
@@ -323,6 +361,39 @@ impl CacheKv {
                 .expect("spawn maintenance thread"),
         );
         kv
+    }
+
+    /// The only sanctioned way to lock a CoreSlot. Gets must never come
+    /// through here: the read path works off published views, and a reader
+    /// acquiring a core lock would re-create the Observation-2 contention
+    /// the per-core design removes. The counter is the regression tripwire
+    /// (asserted zero in tests and `validate_metrics`).
+    fn lock_core(&self, core: usize) -> parking_lot::MutexGuard<'_, CoreSlot> {
+        if IN_READ.with(|c| c.get()) {
+            self.shared.obs.read_core_lock_acquisitions.inc();
+            debug_assert!(false, "read path must not take CoreSlot locks");
+        }
+        self.cores[core].lock()
+    }
+
+    /// Publish `view` as core `core`'s active table (or retract it with
+    /// `None`). Must be called with the core's mutex held, so the published
+    /// view always mirrors `CoreSlot::st`.
+    fn publish_view(&self, core: usize, view: Option<ActiveView>) {
+        let present = view.is_some();
+        // New table, new tail space: reset the reader-side sync-request
+        // watermark so nudges for the fresh table aren't suppressed by the
+        // previous table's (larger) tail.
+        self.sync_req[core].store(0, Ordering::Relaxed);
+        *self.publish[core].write() = view;
+        if core < 64 {
+            let bit = 1u64 << core;
+            if present {
+                self.active_mask.fetch_or(bit, Ordering::SeqCst);
+            } else {
+                self.active_mask.fetch_and(!bit, Ordering::SeqCst);
+            }
+        }
     }
 
     fn core_id(&self) -> usize {
@@ -352,20 +423,27 @@ impl CacheKv {
                 st.seal();
                 let index = cs.index.clone();
                 self.shared.obs.steals.inc();
-                self.seal_to_flush(st, index);
+                self.seal_to_flush(i, st, index);
                 return true;
             }
         }
         false
     }
 
-    /// Publish a sealed table to readers and enqueue its flush.
-    fn seal_to_flush(&self, st: SubTable, index: Arc<SubIndex>) {
+    /// Publish a sealed table to readers and enqueue its flush. Ordering is
+    /// load-bearing for the lock-free read path: the table enters
+    /// `mem.sealing` *before* its active view is retracted (no window where
+    /// its records are reachable through neither), and the flush message —
+    /// which lets a flusher eventually recycle the slot — is sent only
+    /// *after* the retraction, so a reader's post-probe view validation
+    /// can always detect recycling.
+    fn seal_to_flush(&self, core: usize, st: SubTable, index: Arc<SubIndex>) {
         self.shared
             .mem
             .write()
             .sealing
             .push((st.clone(), index.clone()));
+        self.publish_view(core, None);
         *self.shared.pending_flushes.lock() += 1;
         self.shared.obs.seals.inc();
         self.shared.obs.flush_queue_depth.inc();
@@ -410,13 +488,20 @@ impl CacheKv {
         let src = obs.time_source;
         let core = self.core_id();
         let t = src.begin();
-        let mut cs = self.cores[core].lock();
+        let mut cs = self.lock_core(core);
         obs.put_phases.record(Phase::LockWait, t.elapsed_ns());
         if cs.st.is_none() {
             let t = src.begin();
             let st = self.acquire_for(core);
             obs.put_phases.record(Phase::Alloc, t.elapsed_ns());
             cs.index = SubIndex::for_data_capacity(st.data_capacity());
+            self.publish_view(
+                core,
+                Some(ActiveView {
+                    st: st.clone(),
+                    index: cs.index.clone(),
+                }),
+            );
             cs.st = Some(st);
         }
         let seq = self.shared.storage.versions().next_seq();
@@ -436,7 +521,12 @@ impl CacheKv {
                             let _ = self.shared.maint_tx.send(MaintMsg::SyncCore(core));
                         }
                     } else {
-                        cs.index.insert_direct(key, meta, off);
+                        cs.index.insert_direct(
+                            key,
+                            meta,
+                            off,
+                            record_len(key.len(), value.len()) as u64,
+                        );
                     }
                     obs.put_phases.record(Phase::IndexUpdate, t.elapsed_ns());
                     return Ok(());
@@ -448,12 +538,19 @@ impl CacheKv {
                     st.seal();
                     cs.st = None;
                     let index = cs.index.clone();
-                    self.seal_to_flush(st, index);
+                    self.seal_to_flush(core, st, index);
                     obs.put_phases.record(Phase::Persist, t.elapsed_ns());
                     let t = src.begin();
                     let fresh = self.acquire_for(core);
                     obs.put_phases.record(Phase::Alloc, t.elapsed_ns());
                     cs.index = SubIndex::for_data_capacity(fresh.data_capacity());
+                    self.publish_view(
+                        core,
+                        Some(ActiveView {
+                            st: fresh.clone(),
+                            index: cs.index.clone(),
+                        }),
+                    );
                     cs.st = Some(fresh);
                     cs.writes_since_sync = 0;
                 }
@@ -538,8 +635,11 @@ impl KvStore for CacheKv {
         let obs = &self.shared.obs;
         obs.gets.inc();
         let op = obs.time_source.begin();
+        IN_READ.with(|c| c.set(true));
         let out = self.get_inner(key);
+        IN_READ.with(|c| c.set(false));
         obs.get_ns.record(op.elapsed_ns());
+        obs.get_phases.op();
         out
     }
 
@@ -572,51 +672,99 @@ impl KvStore for CacheKv {
 }
 
 impl CacheKv {
+    /// The contention-free read path. Probe order: active sub-MemTables
+    /// (published views, no CoreSlot locks), then sealing + flushed tables
+    /// and the global skiplist (fence/bloom gated) under the `mem` read
+    /// lock, then the LSM — unless an in-memory hit already dominates every
+    /// persisted sequence number.
     fn get_inner(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let s = &self.shared;
-        let mut best: Option<(u64, Option<Vec<u8>>)> = None;
-        let consider =
-            |meta: u64, value: Option<Vec<u8>>, best: &mut Option<(u64, Option<Vec<u8>>)>| {
-                if best.as_ref().is_none_or(|(m, _)| meta > *m) {
-                    *best = Some((meta, value));
-                }
-            };
+        let obs = &s.obs;
+        let src = obs.time_source;
+        let mut best: Candidate = None;
+        let consider = |meta: u64, value: Option<Vec<u8>>, best: &mut Candidate| {
+            if best.as_ref().is_none_or(|(m, _)| meta > *m) {
+                *best = Some((meta, value));
+            }
+        };
 
-        // 1. Active sub-MemTables: sync-on-read (strategy 1), then probe.
-        for c in &self.cores {
-            let cs = c.lock();
-            if let Some(st) = &cs.st {
-                if s.cfg.techniques.lazy_index {
-                    cs.index.sync(st);
-                }
-                if let Some((meta, off)) = cs.index.get(key) {
-                    let value = match meta_kind(meta) {
-                        EntryKind::Delete => None,
-                        EntryKind::Put => {
-                            Some(read_record(&s.hier, st.base + DATA_OFF, off as u64).value)
-                        }
-                    };
-                    consider(meta, value, &mut best);
+        // 1. Active sub-MemTables: snapshot each published view and probe
+        // it read-only — the indexed prefix through the sub-skiplist, the
+        // unindexed suffix by scanning `[list tail, table tail)`. The scan
+        // replaces reader-driven `sync()`: LIU's sync-on-read semantics
+        // (a get observes every completed write) without mutating a shared
+        // index or taking the CoreSlot mutex.
+        // One stopwatch laps across the phase boundaries: a single clock
+        // read per boundary instead of a begin/elapsed pair per phase.
+        let mut sw = src.begin();
+        let mask = self.active_mask.load(Ordering::SeqCst);
+        for (core, slot) in self.publish.iter().enumerate() {
+            if core < 64 && mask & (1u64 << core) == 0 {
+                continue;
+            }
+            let guard = slot.read();
+            let Some(view) = guard.as_ref() else {
+                continue;
+            };
+            obs.read_probes.inc();
+            // Holding the publish read guard pins the view: a seal retracts
+            // it under the write lock *before* sending the flush message
+            // that lets the slot's memory be reused, so the table cannot be
+            // recycled mid-probe and any hit is valid as-is. Writers never
+            // wait on this guard on the hot path — only the (rare) seal
+            // rollover takes the write side.
+            let (hit, lag_tail) = probe_table(s, &view.st, &view.index, key);
+            drop(guard);
+            if let Some((meta, value)) = hit {
+                consider(meta, value, &mut best);
+            }
+            // Sync-on-read, asynchronously: a lagging index makes every
+            // reader re-decode the suffix, so nudge the maintenance thread
+            // to index it — once per observed tail, not once per get.
+            if lag_tail > 0 {
+                let req = &self.sync_req[core];
+                let prev = req.load(Ordering::Relaxed);
+                if lag_tail > prev
+                    && req
+                        .compare_exchange(prev, lag_tail, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    let _ = s.maint_tx.send(MaintMsg::SyncCore(core));
                 }
             }
         }
+        obs.get_phases.record(ReadPhase::ActiveProbe, sw.lap());
 
         // 2. Sealed/flushed tables and the global skiplist.
         {
             let m = s.mem.read();
             for (st, index) in &m.sealing {
-                index.sync(st);
-                if let Some((meta, off)) = index.get(key) {
-                    let value = match meta_kind(meta) {
-                        EntryKind::Delete => None,
-                        EntryKind::Put => {
-                            Some(read_record(&s.hier, st.base + DATA_OFF, off as u64).value)
-                        }
-                    };
+                // Sealed tables are immutable but possibly not fully
+                // indexed yet (the flusher does the final sync); the same
+                // read-only suffix scan covers the gap — a miss never pays
+                // a sync.
+                obs.read_probes.inc();
+                if let (Some((meta, value)), _) = probe_table(s, st, index, key) {
                     consider(meta, value, &mut best);
                 }
             }
             for ft in &m.flushed {
+                match ft
+                    .filter
+                    .as_ref()
+                    .map_or(FilterVerdict::Probe, |f| f.check(key))
+                {
+                    FilterVerdict::FenceSkip => {
+                        obs.read_fence_skips.inc();
+                        continue;
+                    }
+                    FilterVerdict::BloomSkip => {
+                        obs.read_bloom_skips.inc();
+                        continue;
+                    }
+                    FilterVerdict::Probe => {}
+                }
+                obs.read_probes.inc();
                 if let Some((meta, off)) = ft.index.get(key) {
                     let value = match meta_kind(meta) {
                         EntryKind::Delete => None,
@@ -625,31 +773,97 @@ impl CacheKv {
                     consider(meta, value, &mut best);
                 }
             }
+            obs.get_phases.record(ReadPhase::ImmProbe, sw.lap());
             if let Some(g) = &m.global {
-                if let Some((meta, gen, off)) = g.get(key) {
-                    let value = match meta_kind(meta) {
-                        EntryKind::Delete => None,
-                        EntryKind::Put => {
-                            let (base, _) = m.gen_regions[&gen];
-                            Some(read_record(&s.hier, base, off as u64).value)
+                match g.filter().map_or(FilterVerdict::Probe, |f| f.check(key)) {
+                    FilterVerdict::FenceSkip => obs.read_fence_skips.inc(),
+                    FilterVerdict::BloomSkip => obs.read_bloom_skips.inc(),
+                    FilterVerdict::Probe => {
+                        obs.read_probes.inc();
+                        if let Some((meta, gen, off)) = g.get(key) {
+                            let value = match meta_kind(meta) {
+                                EntryKind::Delete => None,
+                                EntryKind::Put => {
+                                    let (base, _) = m.gen_regions[&gen];
+                                    Some(read_record(&s.hier, base, off as u64).value)
+                                }
+                            };
+                            consider(meta, value, &mut best);
                         }
-                    };
-                    consider(meta, value, &mut best);
+                    }
                 }
             }
+            obs.get_phases.record(ReadPhase::GlobalProbe, sw.lap());
         }
 
         // 3. The LSM levels. Per-core sub-MemTables don't globally order a
-        // key's versions, so the storage result competes on version too.
-        if let Some((meta, value)) = s.storage.get_versioned(key) {
+        // key's versions, so the storage result competes on version too —
+        // but when the in-memory hit's sequence exceeds everything the
+        // levels hold, the probe cannot change the outcome: skip it.
+        let dominated = best
+            .as_ref()
+            .is_some_and(|(meta, _)| meta_seq(*meta) > s.storage.max_persisted_seq());
+        if dominated {
+            obs.read_lsm_short_circuits.inc();
+        } else if let Some((meta, value)) = s.storage.get_versioned(key) {
             let value = match meta_kind(meta) {
                 EntryKind::Delete => None,
                 EntryKind::Put => Some(value),
             };
             consider(meta, value, &mut best);
         }
+        obs.get_phases.record(ReadPhase::LsmProbe, sw.lap());
         Ok(best.and_then(|(_, v)| v))
     }
+}
+
+/// Newest version candidate for a key: `(meta, value)`, where a `None`
+/// value records a tombstone. Highest meta (sequence) wins.
+type Candidate = Option<(u64, Option<Vec<u8>>)>;
+
+/// Read-only probe of one (active or sealing) sub-MemTable: newest version
+/// of `key` from the indexed prefix plus a decode-scan of the unindexed
+/// suffix `[list tail, table tail)`. Never mutates the index; callers pin
+/// the table against recycling (publish read guard or `mem` lock) for the
+/// duration. The second return is the table tail when the index was
+/// observed lagging (0 when fully synced) so the caller can request a
+/// background sync.
+fn probe_table(s: &Shared, st: &SubTable, index: &SubIndex, key: &[u8]) -> (Candidate, u64) {
+    let mut best: Candidate = None;
+    // Read the list tail before the table tail: the index may advance
+    // concurrently (background LIU sync), which only widens overlap with
+    // the indexed prefix — duplicates are fine, newest meta wins.
+    let (_, synced_tail) = index.counters();
+    let tail = st.header().tail();
+    if let Some((meta, off)) = index.get(key) {
+        match meta_kind(meta) {
+            EntryKind::Delete => best = Some((meta, None)),
+            EntryKind::Put => {
+                // `try_read_record`, not `read_record`: under a racing
+                // recycle the offset may point at garbage.
+                if let Some(e) = try_read_record(&s.hier, st.base + DATA_OFF, off as u64) {
+                    best = Some((meta, Some(e.value)));
+                }
+            }
+        }
+    }
+    let mut lag_tail = 0;
+    if synced_tail < tail {
+        lag_tail = tail;
+        let raw = st.read_data(synced_tail, (tail - synced_tail) as usize);
+        let mut pos = 0usize;
+        while let Some((e, next)) = decode_record_at(&raw, pos) {
+            if e.key == key && best.as_ref().is_none_or(|(m, _)| e.meta > *m) {
+                let value = match meta_kind(e.meta) {
+                    EntryKind::Delete => None,
+                    EntryKind::Put => Some(e.value),
+                };
+                best = Some((e.meta, value));
+            }
+            pos = next;
+        }
+    }
+    (best, lag_tail)
 }
 
 impl Drop for CacheKv {
@@ -731,6 +945,10 @@ fn flush_one(s: &Arc<Shared>, st: SubTable, index: Arc<SubIndex>) {
             gen,
             base,
             len,
+            // The table is fully synced (immutable from here on), so the
+            // fence/bloom filter is exact. DRAM-only: recovery rebuilds it
+            // from the data region.
+            filter: index.build_filter(),
             index: index.clone(),
         });
         if let Some(pos) = m.sealing.iter().position(|(t, _)| t.base == st.base) {
@@ -786,25 +1004,25 @@ fn housekeep(s: &Arc<Shared>) {
     // Phase 1: sub-skiplist compaction into the global skiplist.
     if s.cfg.techniques.compaction {
         let t = s.obs.time_source.begin();
-        let (sources, new_global) = {
+        let (merged_gens, new_global) = {
             let m = s.mem.read();
             if m.flushed.is_empty() {
                 (Vec::new(), None)
             } else {
+                let merged_gens: Vec<u64> = m.flushed.iter().map(|ft| ft.gen).collect();
                 let sources: Vec<TableEntries> = m
                     .flushed
                     .iter()
                     .map(|ft| (ft.gen, ft.index.entries()))
                     .collect();
-                let g = GlobalIndex::compact(m.global.as_ref(), &sources);
-                (sources, Some(g))
+                let g = GlobalIndex::compact(m.global.as_ref(), sources);
+                (merged_gens, Some(g))
             }
         };
         if let Some(g) = new_global {
             let mut m = s.mem.write();
             // Tables flushed after the snapshot stay pending for next round.
-            m.flushed
-                .retain(|ft| !sources.iter().any(|(gen, _)| *gen == ft.gen));
+            m.flushed.retain(|ft| !merged_gens.contains(&ft.gen));
             m.global = Some(g);
             drop(m);
             s.obs.sc_merges.inc();
@@ -826,7 +1044,7 @@ fn housekeep(s: &Arc<Shared>) {
             .iter()
             .map(|ft| (ft.gen, ft.index.entries()))
             .collect();
-        let merged = GlobalIndex::compact(m.global.as_ref(), &sources);
+        let merged = GlobalIndex::compact(m.global.as_ref(), sources);
         let dumped: Vec<u64> = m.gen_regions.keys().copied().collect();
         let entries: Vec<Entry> = merged
             .entries()

@@ -248,6 +248,15 @@ impl<S: MemSpace> SkipList<S> {
         }
     }
 
+    /// Iterate `(key, meta)` pairs in internal order without materializing
+    /// values — for bloom/fence construction over large lists.
+    pub fn iter_keys(&self) -> SkipKeyIter<'_, S> {
+        SkipKeyIter {
+            list: self,
+            cur: self.next(HEAD_OFF, MAX_HEIGHT, 0),
+        }
+    }
+
     /// Sanity check: entries are in strict internal order (tests/fuzzing).
     pub fn check_ordered(&self) -> bool {
         let mut prev: Option<(Vec<u8>, u64)> = None;
@@ -285,6 +294,26 @@ impl<S: MemSpace> Iterator for SkipIter<'_, S> {
             meta: node.meta,
             value,
         })
+    }
+}
+
+/// Forward iterator over `(key, meta)` pairs only.
+pub struct SkipKeyIter<'a, S: MemSpace> {
+    list: &'a SkipList<S>,
+    cur: u64,
+}
+
+impl<S: MemSpace> Iterator for SkipKeyIter<'_, S> {
+    type Item = (Vec<u8>, u64);
+
+    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        if self.cur == 0 {
+            return None;
+        }
+        let node = self.list.read_node(self.cur);
+        let key = self.list.node_key(&node);
+        self.cur = self.list.next(node.off, node.height, 0);
+        Some((key, node.meta))
     }
 }
 

@@ -16,7 +16,7 @@ use cachekv_cache::Hierarchy;
 use cachekv_obs::{Counter, Histogram, MetricsExport, Registry};
 use cachekv_storage::PmemAllocator;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -108,6 +108,12 @@ struct Shared {
     pending: Mutex<usize>,
     idle: Condvar,
     stop: AtomicBool,
+    /// Largest sequence number stored in any table of the current version.
+    /// Monotone: compactions only rewrite existing entries, so only
+    /// [`StorageComponent::ingest`] can raise it. Readers use it to skip the
+    /// level probe entirely when an in-memory hit already dominates
+    /// everything persisted here.
+    max_table_seq: AtomicU64,
 }
 
 /// Leveled persistent tables with compaction.
@@ -143,6 +149,14 @@ impl StorageComponent {
     }
 
     fn from_vset(vset: VersionSet, cfg: StorageConfig) -> Self {
+        let max_table_seq = vset
+            .current()
+            .levels
+            .iter()
+            .flatten()
+            .map(|t| t.meta.max_seq)
+            .max()
+            .unwrap_or(0);
         let shared = Arc::new(Shared {
             vset,
             cfg,
@@ -150,6 +164,7 @@ impl StorageComponent {
             pending: Mutex::new(0),
             idle: Condvar::new(),
             stop: AtomicBool::new(false),
+            max_table_seq: AtomicU64::new(max_table_seq),
         });
         let worker = if shared.cfg.background {
             let s = shared.clone();
@@ -190,10 +205,20 @@ impl StorageComponent {
         s.obs.ingests.inc();
         s.obs.ingest_entries.add(entries.len() as u64);
         s.obs.ingest_bytes.add(meta.len);
+        s.max_table_seq.fetch_max(meta.max_seq, Ordering::SeqCst);
         s.vset
             .apply(vec![VersionEdit::AddTable { level: 0, meta }])?;
         self.maybe_compact();
         Ok(())
+    }
+
+    /// Largest sequence number persisted in any table. An in-memory hit
+    /// whose sequence exceeds this dominates every entry the levels could
+    /// return, so callers may skip [`StorageComponent::get_versioned`]. The
+    /// counter is raised *before* the ingested table becomes visible, so a
+    /// stale read here is always conservative (it only forces a probe).
+    pub fn max_persisted_seq(&self) -> u64 {
+        self.shared.max_table_seq.load(Ordering::SeqCst)
     }
 
     /// Probe the levels for `key`, newest first.

@@ -68,6 +68,23 @@ impl Stopwatch {
     pub fn elapsed_ns(&self) -> u64 {
         self.0.elapsed_ns()
     }
+
+    /// Nanoseconds since the start, restarting the stopwatch at now: one
+    /// clock read per boundary when successive laps decompose a timeline.
+    #[inline]
+    pub fn lap(&mut self) -> u64 {
+        let now = match self.0 {
+            TimePoint::Virtual(_) => TimePoint::Virtual(Clock::thread_ns()),
+            TimePoint::Wall(_) => TimePoint::Wall(Instant::now()),
+        };
+        let ns = match (self.0, now) {
+            (TimePoint::Virtual(a), TimePoint::Virtual(b)) => b.saturating_sub(a),
+            (TimePoint::Wall(a), TimePoint::Wall(b)) => b.duration_since(a).as_nanos() as u64,
+            _ => unreachable!("lap never switches time source"),
+        };
+        self.0 = now;
+        ns
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -84,6 +101,18 @@ impl TimePoint {
             TimePoint::Wall(start) => start.elapsed().as_nanos() as u64,
         }
     }
+}
+
+/// A finite enumeration of phases an operation decomposes into. Implemented
+/// by [`Phase`] (writes) and [`ReadPhase`] (reads); [`PhaseSetOf`] registers
+/// one counter + histogram pair per variant.
+pub trait PhaseKind: Copy + 'static {
+    /// Every phase, in presentation order.
+    fn all() -> &'static [Self];
+    /// Stable metric-name component.
+    fn key(self) -> &'static str;
+    /// Position in [`PhaseKind::all`]; indexes the instrument table.
+    fn index(self) -> usize;
 }
 
 /// The software phases of a write, after the paper's Figure 5.
@@ -123,6 +152,65 @@ impl Phase {
     }
 }
 
+impl PhaseKind for Phase {
+    fn all() -> &'static [Phase] {
+        &Phase::ALL
+    }
+    fn key(self) -> &'static str {
+        Phase::key(self)
+    }
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The probe stages of a point read, in probe order: active sub-MemTables,
+/// immutable (sealing + flushed) sub-indexes, the compacted global skiplist,
+/// and the LSM storage component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPhase {
+    /// Lock-free snapshot probes of the per-core active sub-MemTables.
+    ActiveProbe,
+    /// Sealing + flushed immutable sub-index probes (fence/bloom gated).
+    ImmProbe,
+    /// Global skiplist probe (fence/bloom gated).
+    GlobalProbe,
+    /// LSM storage-component probe (skipped when an in-memory hit dominates).
+    LsmProbe,
+}
+
+impl ReadPhase {
+    /// Every read phase, in probe order.
+    pub const ALL: [ReadPhase; 4] = [
+        ReadPhase::ActiveProbe,
+        ReadPhase::ImmProbe,
+        ReadPhase::GlobalProbe,
+        ReadPhase::LsmProbe,
+    ];
+
+    /// Stable metric-name component.
+    pub fn key(self) -> &'static str {
+        match self {
+            ReadPhase::ActiveProbe => "active_probe",
+            ReadPhase::ImmProbe => "imm_probe",
+            ReadPhase::GlobalProbe => "global_probe",
+            ReadPhase::LsmProbe => "lsm_probe",
+        }
+    }
+}
+
+impl PhaseKind for ReadPhase {
+    fn all() -> &'static [ReadPhase] {
+        &ReadPhase::ALL
+    }
+    fn key(self) -> &'static str {
+        ReadPhase::key(self)
+    }
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
 struct PhaseInstruments {
     total_ns: Arc<Counter>,
     hist: Arc<Histogram>,
@@ -130,24 +218,34 @@ struct PhaseInstruments {
 
 /// Registered instruments for one operation kind (e.g. `put`): per-phase
 /// totals + histograms, plus an op counter.
-pub struct PhaseSet {
+pub struct PhaseSetOf<P: PhaseKind> {
     source: TimeSource,
-    phases: [PhaseInstruments; 5],
+    phases: Vec<PhaseInstruments>,
     ops: Arc<Counter>,
+    _kind: std::marker::PhantomData<P>,
 }
 
-impl PhaseSet {
+/// The write-phase set (paper Figure 5 decomposition).
+pub type PhaseSet = PhaseSetOf<Phase>;
+/// The read-phase set (probe-order decomposition).
+pub type ReadPhaseSet = PhaseSetOf<ReadPhase>;
+
+impl<P: PhaseKind> PhaseSetOf<P> {
     /// Register `{prefix}.phase.{phase}.total_ns` counters,
     /// `{prefix}.phase.{phase}.ns` histograms, and a `{prefix}.ops` counter.
-    pub fn register(reg: &Registry, prefix: &str, source: TimeSource) -> PhaseSet {
-        let phases = Phase::ALL.map(|p| PhaseInstruments {
-            total_ns: reg.counter(&format!("{prefix}.phase.{}.total_ns", p.key())),
-            hist: reg.histogram(&format!("{prefix}.phase.{}.ns", p.key())),
-        });
-        PhaseSet {
+    pub fn register(reg: &Registry, prefix: &str, source: TimeSource) -> PhaseSetOf<P> {
+        let phases = P::all()
+            .iter()
+            .map(|p| PhaseInstruments {
+                total_ns: reg.counter(&format!("{prefix}.phase.{}.total_ns", p.key())),
+                hist: reg.histogram(&format!("{prefix}.phase.{}.ns", p.key())),
+            })
+            .collect();
+        PhaseSetOf {
             source,
             phases,
             ops: reg.counter(&format!("{prefix}.ops")),
+            _kind: std::marker::PhantomData,
         }
     }
 
@@ -159,7 +257,7 @@ impl PhaseSet {
 
     /// Time `f` and attribute the elapsed nanoseconds to `phase`.
     #[inline]
-    pub fn timed<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+    pub fn timed<T>(&self, phase: P, f: impl FnOnce() -> T) -> T {
         let start = self.source.now();
         let out = f();
         self.record(phase, start.elapsed_ns());
@@ -168,8 +266,8 @@ impl PhaseSet {
 
     /// Attribute pre-measured nanoseconds to `phase`.
     #[inline]
-    pub fn record(&self, phase: Phase, ns: u64) {
-        let inst = &self.phases[phase as usize];
+    pub fn record(&self, phase: P, ns: u64) {
+        let inst = &self.phases[phase.index()];
         inst.total_ns.add(ns);
         inst.hist.record(ns);
     }
@@ -193,6 +291,24 @@ pub fn timed<T>(source: TimeSource, hist: &Histogram, f: impl FnOnce() -> T) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn read_phases_enumerate_in_probe_order() {
+        assert_eq!(ReadPhase::ALL.len(), 4);
+        let keys: Vec<_> = ReadPhase::ALL.iter().map(|p| p.key()).collect();
+        assert_eq!(
+            keys,
+            ["active_probe", "imm_probe", "global_probe", "lsm_probe"]
+        );
+        let reg = Registry::new();
+        let set = ReadPhaseSet::register(&reg, "get", TimeSource::Virtual);
+        set.record(ReadPhase::LsmProbe, 9);
+        set.op();
+        let export = reg.export();
+        assert_eq!(export.counters["get.phase.lsm_probe.total_ns"], 9);
+        assert_eq!(export.counters["get.phase.active_probe.total_ns"], 0);
+        assert_eq!(export.counters["get.ops"], 1);
+    }
 
     #[test]
     fn phases_enumerate_in_order() {

@@ -1,8 +1,9 @@
 //! LevelDB's `db_bench` operations, the paper's primary microbenchmark.
 
-use crate::dist::{KeyDist, Sequential, Uniform};
+use crate::dist::{KeyDist, Sequential, Uniform, Zipfian};
 
-/// The four `db_bench` modes the paper sweeps (Exp#1-#3).
+/// The `db_bench` modes the paper sweeps (Exp#1-#3), plus a Zipfian read
+/// mode for skewed point-read profiles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DbBench {
     /// Sequential-key inserts.
@@ -13,6 +14,8 @@ pub enum DbBench {
     ReadSeq,
     /// Uniform-random-key point reads.
     ReadRandom,
+    /// Scrambled-Zipfian (θ = 0.99) point reads — YCSB-C's request mix.
+    ReadZipfian,
 }
 
 impl DbBench {
@@ -23,6 +26,7 @@ impl DbBench {
             DbBench::FillRandom => "fillrandom",
             DbBench::ReadSeq => "readseq",
             DbBench::ReadRandom => "readrandom",
+            DbBench::ReadZipfian => "readzipfian",
         }
     }
 
@@ -46,6 +50,7 @@ impl DbBench {
                 Box::new(Sequential::new(thread * per, n))
             }
             DbBench::FillRandom | DbBench::ReadRandom => Box::new(Uniform::new(n, 0x5EED + thread)),
+            DbBench::ReadZipfian => Box::new(Zipfian::new(n, 0x5EED + thread)),
         }
     }
 }
@@ -73,5 +78,21 @@ mod tests {
         assert!(DbBench::FillRandom.is_write());
         assert!(!DbBench::ReadSeq.is_write());
         assert!(DbBench::ReadRandom.needs_fill());
+        assert!(!DbBench::ReadZipfian.is_write());
+        assert!(DbBench::ReadZipfian.needs_fill());
+    }
+
+    #[test]
+    fn zipfian_reads_stay_in_keyspace_and_skew() {
+        let n = 1000;
+        let mut d = DbBench::ReadZipfian.dist(n, 0, 1);
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..20_000 {
+            let id = d.next_id();
+            assert!(id < n);
+            counts[id as usize] += 1;
+        }
+        // Skewed: the hottest key draws far more than a uniform share (20).
+        assert!(counts.iter().max().copied().unwrap_or(0) > 100);
     }
 }

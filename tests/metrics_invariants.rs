@@ -72,6 +72,19 @@ fn snapshot_covers_all_four_layers_and_round_trips() {
     }
     assert!(snap.memory.counters["core.put.phase.data_copy.total_ns"] > 0);
     assert!(snap.memory.counters["core.put.phase.persist.total_ns"] > 0);
+    // The read-path probe-order decomposition and pruning counters.
+    for phase in ["active_probe", "imm_probe", "global_probe", "lsm_probe"] {
+        assert!(
+            snap.memory
+                .counters
+                .contains_key(&format!("core.get.phase.{phase}.total_ns")),
+            "missing read phase counter {phase}"
+        );
+    }
+    assert_eq!(snap.memory.counters["core.get.ops"], 200);
+    assert!(snap.memory.counters["core.read.probes"] > 0);
+    // The contention-free read path never touches a CoreSlot mutex.
+    assert_eq!(snap.memory.counters["core.read.core_lock_acquisitions"], 0);
 }
 
 #[test]
