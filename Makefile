@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy build test sweep bench bench-smoke
+.PHONY: verify fmt clippy build test sweep bench bench-smoke serve
 
 verify: fmt clippy test sweep
 
@@ -20,9 +20,18 @@ test: build
 	$(CARGO) test -q
 
 # Strided crash-point sweep: fault injection at many persistence events,
-# recovery verified differentially (see DESIGN.md, "Crash testing").
+# recovery verified differentially (see DESIGN.md, "Crash testing"), plus
+# the service-layer ack-contract sweep (tests/server_crash.rs).
 sweep:
 	$(CARGO) test -q --test crash_sweep
+	$(CARGO) test -q --test server_crash
+
+# Sharded CacheKV service over TCP (see DESIGN.md, "Service layer").
+# Override with e.g. `make serve ADDR=0.0.0.0:7000 SHARDS=4`.
+ADDR ?= 127.0.0.1:4840
+SHARDS ?= 2
+serve:
+	$(CARGO) run --release -p cachekv-server --bin cachekv_serve -- $(ADDR) $(SHARDS)
 
 bench:
 	$(CARGO) bench --workspace
@@ -34,7 +43,10 @@ bench-smoke:
 		$(CARGO) bench -p cachekv-bench --bench fig10_write_throughput
 	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
 		$(CARGO) bench -p cachekv-bench --bench fig11_read_throughput
+	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
+		$(CARGO) bench -p cachekv-bench --bench server_loopback
 	CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
 		$(CARGO) run -q -p cachekv-bench --bin validate_metrics -- \
 		$(CURDIR)/target/metrics/fig10_write_throughput.json \
-		$(CURDIR)/target/metrics/fig11_read_throughput.json
+		$(CURDIR)/target/metrics/fig11_read_throughput.json \
+		$(CURDIR)/target/metrics/server_loopback.json

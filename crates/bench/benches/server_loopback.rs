@@ -1,0 +1,95 @@
+//! Service-layer throughput: YCSB-A (50/50 GET/PUT) through the wire
+//! protocol over the in-process loopback transport, 4 client threads
+//! against a 2-shard group-committing server.
+//!
+//! Unlike the figure benches (which call the engine directly), every
+//! operation here pays framing, CRC, routing, and the submission queue —
+//! the artifact's `server.*` histograms are the service-layer latency
+//! decomposition, and the per-shard labels carry the usual engine
+//! snapshots underneath.
+
+use cachekv_bench::{banner, build, row, BenchScale, Instance, MetricsSink, SystemKind};
+use cachekv_lsm::KvStore;
+use cachekv_server::{KvClient, KvServer, LoopbackTransport, RemoteStore, ServerConfig};
+use cachekv_workloads::{driver, KeyGen, ValueGen, YcsbWorkload};
+use std::sync::Arc;
+
+const SHARDS: usize = 2;
+const THREADS: usize = 4;
+
+fn main() {
+    let scale = BenchScale::default();
+    let key = KeyGen::paper();
+    let value = ValueGen::new(64);
+
+    banner(
+        "Service",
+        &format!(
+            "loopback server — {SHARDS} shards, {THREADS} client threads, YCSB-A mixed GET/PUT, {} requests",
+            scale.ops
+        ),
+    );
+
+    let insts: Vec<Instance> = (0..SHARDS)
+        .map(|_| build(SystemKind::CacheKv, &scale))
+        .collect();
+    let stores: Vec<Arc<dyn KvStore>> = insts.iter().map(|i| i.store.clone()).collect();
+    let transport = LoopbackTransport::new();
+    let server = KvServer::start(stores, transport.clone(), ServerConfig::default());
+    let client = Arc::new(KvClient::connect(
+        transport.connect().expect("loopback dial"),
+    ));
+    let remote: Arc<dyn KvStore> = Arc::new(RemoteStore::new(client));
+
+    driver::fill(&remote, scale.keyspace, &key, &value);
+    let ops_per_thread = (scale.ops / THREADS as u64).max(1);
+    let m = driver::run_ycsb(
+        &remote,
+        YcsbWorkload::A,
+        scale.keyspace,
+        ops_per_thread,
+        THREADS,
+        &key,
+        &value,
+    );
+    remote.quiesce(); // PING(sync): drain queues, quiesce every shard
+
+    row(
+        "YCSB-A over wire",
+        &[format!("{:.1} Kops/s", m.kops()), format!("{} ops", m.ops)],
+    );
+    let export = server.obs().registry.export();
+    for op in ["server.get_ns", "server.put_ns"] {
+        let h = &export.histograms[op];
+        row(
+            op,
+            &[
+                format!("p50 {}ns", h.p50()),
+                format!("p95 {}ns", h.p95()),
+                format!("p99 {}ns", h.p99()),
+                format!("n={}", h.count),
+            ],
+        );
+    }
+    let commits = export.counters["server.group_commit.commits"];
+    let batch = &export.histograms["server.group_commit.batch_size"];
+    row(
+        "group commit",
+        &[
+            format!("{commits} rounds"),
+            format!("{} entries", batch.sum),
+            format!("p95 batch {}", batch.p95()),
+        ],
+    );
+
+    let mut sink = MetricsSink::new("server_loopback");
+    sink.record_json(
+        "CacheKV-server/loopback/ycsb-a",
+        &server.merged_snapshot_json(),
+    );
+    for (i, inst) in insts.iter().enumerate() {
+        sink.record(&format!("CacheKV/shard{i}"), inst);
+    }
+    sink.write();
+    server.shutdown();
+}

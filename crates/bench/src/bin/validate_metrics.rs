@@ -37,6 +37,11 @@ fn validate(path: &std::path::Path) {
     let mut fence_skips = 0u64;
     let mut bloom_skips = 0u64;
     let mut lsm_short_circuits = 0u64;
+    // Aggregated service-layer counters (server artifacts must prove the
+    // group-commit pipeline actually carried the workload).
+    let mut server_requests = 0u64;
+    let mut server_commits = 0u64;
+    let mut server_labels = 0usize;
     for (label, entry) in systems {
         // Every entry must be a full StatsSnapshot document.
         let snap = StatsSnapshot::from_json(entry)
@@ -98,6 +103,43 @@ fn validate(path: &std::path::Path) {
                 fail(&format!("{label}: missing persist phase histogram"));
             }
         }
+        // Server-merged snapshots must carry the full service-layer
+        // instrument set: per-op latency histograms with samples, the
+        // group-commit batch-size and queue-depth distributions, and the
+        // live queue-depth gauge.
+        if snap.system.ends_with("-server") {
+            server_labels += 1;
+            server_requests += snap
+                .memory
+                .counters
+                .get("server.requests")
+                .copied()
+                .unwrap_or(0);
+            server_commits += snap
+                .memory
+                .counters
+                .get("server.group_commit.commits")
+                .copied()
+                .unwrap_or(0);
+            for key in [
+                "server.get_ns",
+                "server.put_ns",
+                "server.group_commit.batch_size",
+                "server.group_commit.queue_depth",
+            ] {
+                let h = snap
+                    .memory
+                    .histograms
+                    .get(key)
+                    .unwrap_or_else(|| fail(&format!("{label}: missing histogram {key}")));
+                if h.count == 0 {
+                    fail(&format!("{label}: histogram {key} recorded no samples"));
+                }
+            }
+            if !snap.memory.gauges.contains_key("server.queue_depth") {
+                fail(&format!("{label}: missing gauge server.queue_depth"));
+            }
+        }
     }
     if instrumented == 0 {
         fail("no snapshot carries memory-component metrics");
@@ -114,6 +156,19 @@ fn validate(path: &std::path::Path) {
             if total == 0 {
                 fail(&format!("read figure: {name} never fired across labels"));
             }
+        }
+    }
+    // Server artifacts must contain at least one merged server snapshot
+    // that actually served traffic through group commit.
+    if fig.contains("server") {
+        if server_labels == 0 {
+            fail("server figure: no label carries a *-server merged snapshot");
+        }
+        if server_requests == 0 {
+            fail("server figure: server.requests is zero across labels");
+        }
+        if server_commits == 0 {
+            fail("server figure: server.group_commit.commits is zero across labels");
         }
     }
     println!(

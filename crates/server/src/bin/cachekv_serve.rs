@@ -1,0 +1,60 @@
+//! `cachekv_serve` — run a sharded CacheKV service over TCP.
+//!
+//! ```sh
+//! cargo run --release -p cachekv-server --bin cachekv_serve -- [ADDR] [SHARDS]
+//! # defaults: 127.0.0.1:4840, 2 shards
+//! ```
+//!
+//! Each shard is an independent simulated eADR device + cache hierarchy
+//! with its own CacheKV instance; keys hash-route across them. Type
+//! `stats` on stdin for the live stats document, `quit` (or EOF) for a
+//! clean shutdown that drains in-flight group commits.
+
+use cachekv::{CacheKv, CacheKvConfig};
+use cachekv_cache::{CacheConfig, Hierarchy};
+use cachekv_lsm::KvStore;
+use cachekv_pmem::{PmemConfig, PmemDevice};
+use cachekv_server::{KvServer, ServerConfig, TcpTransport};
+use std::io::BufRead;
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:4840".to_string());
+    let shards: usize = args
+        .next()
+        .map(|s| s.parse().expect("SHARDS must be a number"))
+        .unwrap_or(2);
+
+    let stores: Vec<Arc<dyn KvStore>> = (0..shards)
+        .map(|_| {
+            let dev = Arc::new(PmemDevice::new(PmemConfig::paper_scaled()));
+            let hier = Arc::new(Hierarchy::new(dev, CacheConfig::paper()));
+            Arc::new(CacheKv::create(hier, CacheKvConfig::default())) as Arc<dyn KvStore>
+        })
+        .collect();
+
+    let transport = TcpTransport::bind(&addr).expect("bind TCP listener");
+    let local = transport.local_addr();
+    let server = KvServer::start(stores, transport, ServerConfig::default());
+    println!("cachekv_serve: {shards} shard(s) listening on {local}");
+    println!("commands: stats | quit");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        match line.trim() {
+            "" => {}
+            "stats" => println!("{}", server.stats_document()),
+            "quit" | "exit" => break,
+            other => println!("unknown command: {other} (stats | quit)"),
+        }
+    }
+    println!("draining in-flight commits...");
+    server.shutdown();
+    println!("bye");
+}

@@ -1,0 +1,38 @@
+//! `cachekv-server` — the service layer over the CacheKV engine.
+//!
+//! The engine (`crates/core`) gives one process a persistent-cache-resident
+//! KV store; this crate turns it into a *service*: a wire protocol, a
+//! pluggable transport, and a sharded front-end whose write path batches
+//! concurrent requests into group commits.
+//!
+//! * [`protocol`] — length-prefixed, CRC-framed binary frames
+//!   (GET/PUT/DELETE/BATCH/STATS/PING), pipelined via client-chosen ids.
+//! * [`transport`] — how bytes move: an in-process loopback with bounded
+//!   duplex pipes (deterministic tests/benches, real backpressure) or a
+//!   `std::net` TCP listener with a thread per connection. The server is
+//!   written against the [`Transport`] trait only.
+//! * [`shard`]/[`server`] — keys hash-route across N engine shards; each
+//!   shard fronts its store with a bounded submission queue drained in
+//!   group-commit rounds. Writes are acked only after their whole round is
+//!   applied (under eADR, applied ⇒ persisted — see `tests/server_crash.rs`
+//!   for the crash-sweep proof). Full queues block the connection reader,
+//!   backpressuring the transport and ultimately the client.
+//! * [`client`] — pipelined [`KvClient`] plus [`RemoteStore`], a
+//!   [`cachekv_lsm::KvStore`] adapter so YCSB/db_bench drivers run against
+//!   the wire unchanged.
+//! * [`obs`] — `server.*` counters, gauges, and latency histograms; the
+//!   STATS opcode returns them with per-shard engine snapshots.
+
+pub mod client;
+pub mod obs;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+pub mod transport;
+
+pub use client::{ClientError, KvClient, Pending, RemoteStore};
+pub use obs::ServerObs;
+pub use protocol::{BatchOp, BatchReply, Request, Response};
+pub use server::{shard_for_key, KvServer, ReplySender, ServerConfig};
+pub use shard::Shard;
+pub use transport::{Connection, LoopbackTransport, TcpTransport, Transport};

@@ -1,0 +1,84 @@
+//! `server.*` instruments: request counters, per-op latency histograms,
+//! group-commit batch sizes, queue depths, connection counts.
+//!
+//! One [`ServerObs`] per [`crate::KvServer`], shared by the accept loop,
+//! every connection's reader/writer threads, and the shard committers.
+//! All hot-path handles are pre-fetched `Arc`s (recording is purely
+//! atomic); the registry lock is only taken at construction and snapshot.
+
+use cachekv_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Instruments for the service front-end.
+pub struct ServerObs {
+    pub registry: Registry,
+
+    // Request mix.
+    pub requests: Arc<Counter>,
+    pub gets: Arc<Counter>,
+    pub puts: Arc<Counter>,
+    pub deletes: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    pub batch_ops: Arc<Counter>,
+    pub pings: Arc<Counter>,
+    pub stats_requests: Arc<Counter>,
+    pub errors: Arc<Counter>,
+
+    // Per-op wire-to-ack latency (p50/p95/p99 come from the histogram).
+    pub get_ns: Arc<Histogram>,
+    pub put_ns: Arc<Histogram>,
+    pub delete_ns: Arc<Histogram>,
+    pub batch_ns: Arc<Histogram>,
+
+    // Group commit.
+    /// Committed batches (one per shard commit round).
+    pub group_commits: Arc<Counter>,
+    /// Entries applied per commit round.
+    pub batch_size: Arc<Histogram>,
+    /// Submission-queue depth observed at each commit round.
+    pub queue_depth_hist: Arc<Histogram>,
+    /// Current total queued submissions across shards.
+    pub queue_depth: Arc<Gauge>,
+    /// Submissions that blocked on a full shard queue (backpressure).
+    pub backpressure_waits: Arc<Counter>,
+
+    // Connections.
+    pub connections: Arc<Gauge>,
+    pub connections_total: Arc<Counter>,
+
+    // Wire traffic.
+    pub bytes_in: Arc<Counter>,
+    pub bytes_out: Arc<Counter>,
+}
+
+impl ServerObs {
+    /// Register every instrument under the `server.` namespace.
+    pub fn new() -> Arc<Self> {
+        let registry = Registry::new();
+        Arc::new(ServerObs {
+            requests: registry.counter("server.requests"),
+            registry: registry.clone(),
+            gets: registry.counter("server.gets"),
+            puts: registry.counter("server.puts"),
+            deletes: registry.counter("server.deletes"),
+            batches: registry.counter("server.batches"),
+            batch_ops: registry.counter("server.batch_ops"),
+            pings: registry.counter("server.pings"),
+            stats_requests: registry.counter("server.stats_requests"),
+            errors: registry.counter("server.errors"),
+            get_ns: registry.histogram("server.get_ns"),
+            put_ns: registry.histogram("server.put_ns"),
+            delete_ns: registry.histogram("server.delete_ns"),
+            batch_ns: registry.histogram("server.batch_ns"),
+            group_commits: registry.counter("server.group_commit.commits"),
+            batch_size: registry.histogram("server.group_commit.batch_size"),
+            queue_depth_hist: registry.histogram("server.group_commit.queue_depth"),
+            queue_depth: registry.gauge("server.queue_depth"),
+            backpressure_waits: registry.counter("server.backpressure_waits"),
+            connections: registry.gauge("server.connections"),
+            connections_total: registry.counter("server.connections_total"),
+            bytes_in: registry.counter("server.bytes_in"),
+            bytes_out: registry.counter("server.bytes_out"),
+        })
+    }
+}

@@ -1,0 +1,553 @@
+//! The wire protocol: length-prefixed, CRC-framed binary messages.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! [len: u32 LE][crc32c(payload): u32 LE][payload: len bytes]
+//! ```
+//!
+//! The CRC is the same Castagnoli CRC-32C the storage layer uses for log
+//! records and table blocks ([`cachekv_storage::crc32c`]), so a flipped bit
+//! anywhere on the wire is detected before the payload is interpreted.
+//!
+//! Request payloads are `[id: u64][opcode: u8][body]`; response payloads
+//! are `[id: u64][status: u8][body]`. The `id` is chosen by the client and
+//! echoed verbatim, which is what lets a connection carry many requests in
+//! flight (pipelining): responses may return in any order and the client
+//! demultiplexes on `id`.
+//!
+//! Opcodes: GET, PUT, DELETE, BATCH (a mixed op vector applied with
+//! group-commit semantics), STATS (the server's metrics document as JSON),
+//! and PING (with an optional `sync` flag that drains every shard queue and
+//! quiesces the stores before replying — the wire form of
+//! [`cachekv_lsm::KvStore::quiesce`]).
+
+use cachekv_storage::crc::crc32c;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame, large enough for a BATCH of maximum-size
+/// values but small enough that a corrupt length prefix cannot trigger a
+/// multi-GiB allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Request opcodes (the first payload byte after the id).
+pub const OP_GET: u8 = 1;
+pub const OP_PUT: u8 = 2;
+pub const OP_DELETE: u8 = 3;
+pub const OP_BATCH: u8 = 4;
+pub const OP_STATS: u8 = 5;
+pub const OP_PING: u8 = 6;
+
+/// Response status codes.
+pub const ST_OK: u8 = 0;
+pub const ST_VALUE: u8 = 1;
+pub const ST_NOT_FOUND: u8 = 2;
+pub const ST_BATCH: u8 = 3;
+pub const ST_STATS: u8 = 4;
+pub const ST_ERR: u8 = 5;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Get { key: Vec<u8> },
+    Put { key: Vec<u8>, value: Vec<u8> },
+    Delete { key: Vec<u8> },
+    Batch { ops: Vec<BatchOp> },
+    Stats,
+    Ping { sync: bool },
+}
+
+/// One operation inside a BATCH. Gets are allowed so a batch can read its
+/// own writes: every batch op is routed through the shard submission queues
+/// and executes in submission order on its shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    Put { key: Vec<u8>, value: Vec<u8> },
+    Delete { key: Vec<u8> },
+    Get { key: Vec<u8> },
+}
+
+impl BatchOp {
+    /// The key this op routes on.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Delete { key } | BatchOp::Get { key } => key,
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// PUT / DELETE / PING acknowledged.
+    Ok,
+    /// GET hit.
+    Value(Vec<u8>),
+    /// GET miss (absent or deleted).
+    NotFound,
+    /// Per-op replies of a BATCH, in submission order.
+    Batch(Vec<BatchReply>),
+    /// The STATS JSON document.
+    Stats(String),
+    /// The request failed server-side.
+    Err(String),
+}
+
+/// One BATCH op's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchReply {
+    Ok,
+    Value(Vec<u8>),
+    NotFound,
+    Err(String),
+}
+
+/// Decode failures (distinct from transport-level I/O errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before the structure it promised.
+    Truncated(&'static str),
+    /// An unknown opcode / status byte.
+    BadTag(u8),
+    /// A length field exceeded its limit.
+    TooLarge { what: &'static str, len: usize },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated(what) => write!(f, "truncated payload: {what}"),
+            ProtoError::BadTag(t) => write!(f, "unknown opcode/status byte {t}"),
+            ProtoError::TooLarge { what, len } => write!(f, "{what} too large: {len}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one frame: length, CRC, payload. The caller flushes.
+pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut hdr = [0u8; 8];
+    hdr[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    hdr[4..].copy_from_slice(&crc32c(payload).to_le_bytes());
+    w.write_all(&hdr)?;
+    w.write_all(payload)
+}
+
+/// Read one frame's payload, verifying its CRC. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary (the peer closed the connection); any
+/// other shortfall, an oversized length, or a CRC mismatch is an error.
+pub fn read_frame(r: &mut dyn Read) -> io::Result<Option<Vec<u8>>> {
+    let mut hdr = [0u8; 8];
+    let mut got = 0;
+    while got < hdr.len() {
+        match r.read(&mut hdr[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
+    let want_crc = u32::from_le_bytes(hdr[4..].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let got_crc = crc32c(&payload);
+    if got_crc != want_crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame CRC mismatch: want {want_crc:#010x}, got {got_crc:#010x}"),
+        ));
+    }
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    buf.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self, what: &'static str) -> Result<u8, ProtoError> {
+        let b = *self.data.get(self.pos).ok_or(ProtoError::Truncated(what))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ProtoError> {
+        let end = self.pos + 4;
+        if end > self.data.len() {
+            return Err(ProtoError::Truncated(what));
+        }
+        let v = u32::from_le_bytes(self.data[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ProtoError> {
+        let end = self.pos + 8;
+        if end > self.data.len() {
+            return Err(ProtoError::Truncated(what));
+        }
+        let v = u64::from_le_bytes(self.data[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::TooLarge { what, len });
+        }
+        let end = self.pos + len;
+        if end > self.data.len() {
+            return Err(ProtoError::Truncated(what));
+        }
+        let v = self.data[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn done(&self, what: &'static str) -> Result<(), ProtoError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Truncated(what))
+        }
+    }
+}
+
+/// Encode `(id, request)` into a frame payload.
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    buf.extend_from_slice(&id.to_le_bytes());
+    match req {
+        Request::Get { key } => {
+            buf.push(OP_GET);
+            put_bytes(&mut buf, key);
+        }
+        Request::Put { key, value } => {
+            buf.push(OP_PUT);
+            put_bytes(&mut buf, key);
+            put_bytes(&mut buf, value);
+        }
+        Request::Delete { key } => {
+            buf.push(OP_DELETE);
+            put_bytes(&mut buf, key);
+        }
+        Request::Batch { ops } => {
+            buf.push(OP_BATCH);
+            buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+            for op in ops {
+                match op {
+                    BatchOp::Put { key, value } => {
+                        buf.push(OP_PUT);
+                        put_bytes(&mut buf, key);
+                        put_bytes(&mut buf, value);
+                    }
+                    BatchOp::Delete { key } => {
+                        buf.push(OP_DELETE);
+                        put_bytes(&mut buf, key);
+                    }
+                    BatchOp::Get { key } => {
+                        buf.push(OP_GET);
+                        put_bytes(&mut buf, key);
+                    }
+                }
+            }
+        }
+        Request::Stats => buf.push(OP_STATS),
+        Request::Ping { sync } => {
+            buf.push(OP_PING);
+            buf.push(*sync as u8);
+        }
+    }
+    buf
+}
+
+/// Decode a frame payload into `(id, request)`.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+    };
+    let id = c.u64("request id")?;
+    let op = c.u8("opcode")?;
+    let req = match op {
+        OP_GET => Request::Get {
+            key: c.bytes("get key")?,
+        },
+        OP_PUT => Request::Put {
+            key: c.bytes("put key")?,
+            value: c.bytes("put value")?,
+        },
+        OP_DELETE => Request::Delete {
+            key: c.bytes("delete key")?,
+        },
+        OP_BATCH => {
+            let n = c.u32("batch count")? as usize;
+            if n > MAX_FRAME / 5 {
+                return Err(ProtoError::TooLarge {
+                    what: "batch count",
+                    len: n,
+                });
+            }
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(match c.u8("batch opcode")? {
+                    OP_PUT => BatchOp::Put {
+                        key: c.bytes("batch put key")?,
+                        value: c.bytes("batch put value")?,
+                    },
+                    OP_DELETE => BatchOp::Delete {
+                        key: c.bytes("batch delete key")?,
+                    },
+                    OP_GET => BatchOp::Get {
+                        key: c.bytes("batch get key")?,
+                    },
+                    t => return Err(ProtoError::BadTag(t)),
+                });
+            }
+            Request::Batch { ops }
+        }
+        OP_STATS => Request::Stats,
+        OP_PING => Request::Ping {
+            sync: c.u8("ping flag")? != 0,
+        },
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    c.done("trailing request bytes")?;
+    Ok((id, req))
+}
+
+/// Encode `(id, response)` into a frame payload.
+pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    buf.extend_from_slice(&id.to_le_bytes());
+    match resp {
+        Response::Ok => buf.push(ST_OK),
+        Response::Value(v) => {
+            buf.push(ST_VALUE);
+            put_bytes(&mut buf, v);
+        }
+        Response::NotFound => buf.push(ST_NOT_FOUND),
+        Response::Batch(replies) => {
+            buf.push(ST_BATCH);
+            buf.extend_from_slice(&(replies.len() as u32).to_le_bytes());
+            for r in replies {
+                match r {
+                    BatchReply::Ok => buf.push(ST_OK),
+                    BatchReply::Value(v) => {
+                        buf.push(ST_VALUE);
+                        put_bytes(&mut buf, v);
+                    }
+                    BatchReply::NotFound => buf.push(ST_NOT_FOUND),
+                    BatchReply::Err(e) => {
+                        buf.push(ST_ERR);
+                        put_bytes(&mut buf, e.as_bytes());
+                    }
+                }
+            }
+        }
+        Response::Stats(json) => {
+            buf.push(ST_STATS);
+            put_bytes(&mut buf, json.as_bytes());
+        }
+        Response::Err(e) => {
+            buf.push(ST_ERR);
+            put_bytes(&mut buf, e.as_bytes());
+        }
+    }
+    buf
+}
+
+/// Decode a frame payload into `(id, response)`.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+    };
+    let id = c.u64("response id")?;
+    let st = c.u8("status")?;
+    let resp = match st {
+        ST_OK => Response::Ok,
+        ST_VALUE => Response::Value(c.bytes("value")?),
+        ST_NOT_FOUND => Response::NotFound,
+        ST_BATCH => {
+            let n = c.u32("batch reply count")? as usize;
+            if n > MAX_FRAME {
+                return Err(ProtoError::TooLarge {
+                    what: "batch reply count",
+                    len: n,
+                });
+            }
+            let mut replies = Vec::with_capacity(n);
+            for _ in 0..n {
+                replies.push(match c.u8("batch reply status")? {
+                    ST_OK => BatchReply::Ok,
+                    ST_VALUE => BatchReply::Value(c.bytes("batch value")?),
+                    ST_NOT_FOUND => BatchReply::NotFound,
+                    ST_ERR => BatchReply::Err(
+                        String::from_utf8_lossy(&c.bytes("batch error")?).into_owned(),
+                    ),
+                    t => return Err(ProtoError::BadTag(t)),
+                });
+            }
+            Response::Batch(replies)
+        }
+        ST_STATS => Response::Stats(String::from_utf8_lossy(&c.bytes("stats json")?).into_owned()),
+        ST_ERR => Response::Err(String::from_utf8_lossy(&c.bytes("error")?).into_owned()),
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    c.done("trailing response bytes")?;
+    Ok((id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let payload = encode_request(77, &req);
+        let (id, got) = decode_request(&payload).unwrap();
+        assert_eq!(id, 77);
+        assert_eq!(got, req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let payload = encode_response(981, &resp);
+        let (id, got) = decode_response(&payload).unwrap();
+        assert_eq!(id, 981);
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Get { key: b"k".to_vec() });
+        roundtrip_req(Request::Put {
+            key: b"key".to_vec(),
+            value: vec![0u8; 4096],
+        });
+        roundtrip_req(Request::Delete { key: vec![] });
+        roundtrip_req(Request::Batch {
+            ops: vec![
+                BatchOp::Put {
+                    key: b"a".to_vec(),
+                    value: b"1".to_vec(),
+                },
+                BatchOp::Get { key: b"a".to_vec() },
+                BatchOp::Delete { key: b"b".to_vec() },
+            ],
+        });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Ping { sync: true });
+        roundtrip_req(Request::Ping { sync: false });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Value(b"v".to_vec()));
+        roundtrip_resp(Response::NotFound);
+        roundtrip_resp(Response::Batch(vec![
+            BatchReply::Ok,
+            BatchReply::Value(vec![9u8; 100]),
+            BatchReply::NotFound,
+            BatchReply::Err("boom".into()),
+        ]));
+        roundtrip_resp(Response::Stats("{\"a\":1}".into()));
+        roundtrip_resp(Response::Err("nope".into()));
+    }
+
+    #[test]
+    fn frame_roundtrip_and_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r: &[u8] = &wire;
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn frame_detects_corruption() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload-bytes").unwrap();
+        // Flip one payload bit: the CRC must catch it.
+        let n = wire.len();
+        wire[n - 3] ^= 0x40;
+        let mut r: &[u8] = &wire;
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"));
+    }
+
+    #[test]
+    fn frame_rejects_oversized_length() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut r: &[u8] = &wire;
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn frame_truncated_header_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"xyz").unwrap();
+        wire.truncate(5); // mid-header of... actually mid-frame
+        let mut r: &[u8] = &wire;
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_tags() {
+        let payload = encode_request(
+            1,
+            &Request::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+        );
+        for cut in 1..payload.len() {
+            assert!(decode_request(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = payload.clone();
+        bad[8] = 0xEE; // opcode byte
+        assert!(matches!(
+            decode_request(&bad),
+            Err(ProtoError::BadTag(0xEE))
+        ));
+        // Trailing garbage is rejected too.
+        let mut long = payload;
+        long.push(0);
+        assert!(decode_request(&long).is_err());
+    }
+}

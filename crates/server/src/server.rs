@@ -1,0 +1,473 @@
+//! The sharded, pipelined service front-end.
+//!
+//! ```text
+//!   clients ── transport (loopback / TCP) ── accept loop
+//!                                              │ thread per connection
+//!                       ┌── reader thread ─────┤  (pipelined: reads req
+//!                       │                      │   K+1 while K commits)
+//!     GET / STATS / PING│ inline               │ PUT / DELETE / BATCH
+//!                       ▼                      ▼ hash-route per key
+//!                  shard.store().get()   bounded submission queues
+//!                                              │ group-commit rounds
+//!                                        shard committer threads
+//!                       └───────► writer thread ◄── acks (any order)
+//! ```
+//!
+//! Writes are acked only after their group-commit round is fully applied;
+//! a full submission queue blocks the reader thread, which backpressures
+//! the transport. Shutdown stops accepting, force-closes connections, then
+//! drains every shard queue before returning.
+
+use crate::obs::ServerObs;
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, BatchOp, Request, Response,
+};
+use crate::shard::{Ack, BatchAcc, Shard, SubOp, Submission};
+use crate::transport::{Closer, Transport};
+use cachekv_lsm::KvStore;
+use cachekv_obs::{Json, StatsSnapshot};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Front-end tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Submissions a shard queue holds before `submit` blocks
+    /// (backpressure bound).
+    pub shard_queue_cap: usize,
+    /// Max submissions folded into one group-commit round.
+    pub group_commit_max: usize,
+    /// Connections beyond this are refused (closed on accept).
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shard_queue_cap: 256,
+            group_commit_max: 32,
+            max_connections: 64,
+        }
+    }
+}
+
+/// Route `key` to one of `n` shards (stable FNV-1a 64 hash — must not
+/// change across restarts, or recovered shards would serve wrong keys).
+pub fn shard_for_key(key: &[u8], n: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % n.max(1) as u64) as usize
+}
+
+enum WriterMsg {
+    Frame(Vec<u8>),
+    Close,
+}
+
+/// Cloneable handle that routes an encoded response back to its
+/// connection's writer thread. Sends to a torn-down connection are
+/// silently dropped (the client is gone; the commit still happened).
+#[derive(Clone)]
+pub struct ReplySender {
+    tx: Sender<WriterMsg>,
+    obs: Arc<ServerObs>,
+}
+
+impl ReplySender {
+    /// Encode and enqueue `(id, resp)` for the writer thread.
+    pub fn send(&self, id: u64, resp: &Response) {
+        let payload = encode_response(id, resp);
+        self.obs.bytes_out.add(payload.len() as u64 + 8);
+        let _ = self.tx.send(WriterMsg::Frame(payload));
+    }
+}
+
+struct ServerShared {
+    shards: Vec<Shard>,
+    obs: Arc<ServerObs>,
+    transport: Arc<dyn Transport>,
+    cfg: ServerConfig,
+    stopping: AtomicBool,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    conn_closers: Mutex<Vec<Closer>>,
+}
+
+/// A running KV service: accept loop + per-connection threads + shard
+/// committers. Stops cleanly via [`KvServer::shutdown`] (drains in-flight
+/// batches) — dropping without shutdown also joins everything.
+pub struct KvServer {
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl KvServer {
+    /// Start serving `stores` (one per shard; key-hash routed) over
+    /// `transport`.
+    pub fn start(
+        stores: Vec<Arc<dyn KvStore>>,
+        transport: Arc<dyn Transport>,
+        cfg: ServerConfig,
+    ) -> KvServer {
+        assert!(!stores.is_empty(), "server needs at least one shard");
+        let obs = ServerObs::new();
+        let shards = stores
+            .into_iter()
+            .enumerate()
+            .map(|(i, store)| {
+                Shard::spawn(
+                    i,
+                    store,
+                    cfg.shard_queue_cap,
+                    cfg.group_commit_max,
+                    obs.clone(),
+                )
+            })
+            .collect();
+        let shared = Arc::new(ServerShared {
+            shards,
+            obs,
+            transport,
+            cfg,
+            stopping: AtomicBool::new(false),
+            conn_threads: Mutex::new(Vec::new()),
+            conn_closers: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("cachekv-accept".into())
+                .spawn(move || accept_loop(&shared))
+                .expect("spawn accept loop")
+        };
+        KvServer {
+            shared,
+            accept: Some(accept),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The server's instruments (tests / benches).
+    pub fn obs(&self) -> &Arc<ServerObs> {
+        &self.shared.obs
+    }
+
+    /// The STATS wire document: `server.*` metrics, each shard's full
+    /// [`StatsSnapshot`], and a merged snapshot (shard 0's layers with the
+    /// `server.*` metrics folded into its memory section) for artifact
+    /// pipelines that expect one `StatsSnapshot` per label.
+    pub fn stats_document(&self) -> String {
+        stats_document(&self.shared)
+    }
+
+    /// Just the merged snapshot (see [`KvServer::stats_document`]).
+    pub fn merged_snapshot_json(&self) -> String {
+        merged_snapshot_json(&self.shared)
+    }
+
+    /// Stop accepting, force-close connections, then drain and stop every
+    /// shard committer. Everything already accepted onto a queue is
+    /// committed before this returns.
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        if self.shared.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.transport.close();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for closer in self.shared.conn_closers.lock().drain(..) {
+            closer();
+        }
+        for h in self.shared.conn_threads.lock().drain(..) {
+            let _ = h.join();
+        }
+        // Drain after the readers stop submitting: every accepted write is
+        // committed (and acked, where the connection still exists) before
+        // shutdown returns. The committer threads themselves join in
+        // Shard's Drop when the last ServerShared ref goes away.
+        for shard in &self.shared.shards {
+            shard.wait_idle_and_quiesce();
+        }
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.teardown();
+        // Shards drain-and-join in their own Drop (after teardown stopped
+        // all submitters).
+    }
+}
+
+fn accept_loop(shared: &Arc<ServerShared>) {
+    while let Some(conn) = shared.transport.accept() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let obs = &shared.obs;
+        if obs.connections.get() >= shared.cfg.max_connections as i64 {
+            // At capacity: refuse by dropping the connection (the peer
+            // sees EOF).
+            continue;
+        }
+        obs.connections.inc();
+        obs.connections_total.inc();
+        shared.conn_closers.lock().push(conn.closer);
+        let handle = {
+            let shared = shared.clone();
+            let peer = conn.peer.clone();
+            let rx = conn.rx;
+            let tx = conn.tx;
+            std::thread::Builder::new()
+                .name(format!("cachekv-conn-{peer}"))
+                .spawn(move || serve_connection(&shared, rx, tx))
+                .expect("spawn connection thread")
+        };
+        shared.conn_threads.lock().push(handle);
+    }
+}
+
+/// Writer thread: drain the response channel, coalescing flushes.
+fn writer_loop(rx: &Receiver<WriterMsg>, mut tx: Box<dyn Write + Send>) {
+    loop {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let mut m = msg;
+        loop {
+            match m {
+                WriterMsg::Close => return,
+                WriterMsg::Frame(payload) => {
+                    if write_frame(&mut tx, &payload).is_err() {
+                        return;
+                    }
+                }
+            }
+            match rx.try_recv() {
+                Ok(next) => m = next,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        if tx.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Reader thread: decode frames, dispatch, loop. Exits on EOF, frame
+/// corruption, or server shutdown (closer-induced EOF).
+fn serve_connection(
+    shared: &Arc<ServerShared>,
+    mut rx: Box<dyn std::io::Read + Send>,
+    tx: Box<dyn Write + Send>,
+) {
+    let (wtx, wrx) = unbounded::<WriterMsg>();
+    let writer = std::thread::Builder::new()
+        .name("cachekv-conn-writer".into())
+        .spawn(move || writer_loop(&wrx, tx))
+        .expect("spawn connection writer");
+    let reply = ReplySender {
+        tx: wtx.clone(),
+        obs: shared.obs.clone(),
+    };
+
+    while let Ok(Some(payload)) = read_frame(&mut rx) {
+        let obs = &shared.obs;
+        obs.bytes_in.add(payload.len() as u64 + 8);
+        obs.requests.inc();
+        let (id, req) = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                obs.errors.inc();
+                // The id prefix decodes even for malformed bodies wherever
+                // at least 8 bytes arrived; use 0 otherwise.
+                let id = payload
+                    .get(..8)
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                reply.send(id, &Response::Err(format!("bad request: {e}")));
+                continue;
+            }
+        };
+        dispatch(shared, id, req, &reply);
+    }
+
+    let _ = wtx.send(WriterMsg::Close);
+    drop(wtx);
+    let _ = writer.join();
+    shared.obs.connections.dec();
+}
+
+fn dispatch(shared: &Arc<ServerShared>, id: u64, req: Request, reply: &ReplySender) {
+    let obs = &shared.obs;
+    let n = shared.shards.len();
+    match req {
+        Request::Get { key } => {
+            obs.gets.inc();
+            let started = Instant::now();
+            // Reads bypass the queues entirely: the engine's read path is
+            // contention-free, so serving inline gives GETs queue-free
+            // latency even while writes batch behind them.
+            let resp = match shared.shards[shard_for_key(&key, n)].store().get(&key) {
+                Ok(Some(v)) => Response::Value(v),
+                Ok(None) => Response::NotFound,
+                Err(e) => {
+                    obs.errors.inc();
+                    Response::Err(e.to_string())
+                }
+            };
+            obs.get_ns.record(started.elapsed().as_nanos() as u64);
+            reply.send(id, &resp);
+        }
+        Request::Put { key, value } => {
+            obs.puts.inc();
+            let shard = &shared.shards[shard_for_key(&key, n)];
+            let accepted = shard.submit(Submission {
+                ops: vec![SubOp::Put { key, value }],
+                ack: Ack::Single {
+                    id,
+                    reply: reply.clone(),
+                    started: Instant::now(),
+                    latency: obs.put_ns.clone(),
+                },
+            });
+            if !accepted {
+                reply.send(id, &Response::Err("server shutting down".into()));
+            }
+        }
+        Request::Delete { key } => {
+            obs.deletes.inc();
+            let shard = &shared.shards[shard_for_key(&key, n)];
+            let accepted = shard.submit(Submission {
+                ops: vec![SubOp::Delete { key }],
+                ack: Ack::Single {
+                    id,
+                    reply: reply.clone(),
+                    started: Instant::now(),
+                    latency: obs.delete_ns.clone(),
+                },
+            });
+            if !accepted {
+                reply.send(id, &Response::Err("server shutting down".into()));
+            }
+        }
+        Request::Batch { ops } => {
+            obs.batches.inc();
+            obs.batch_ops.add(ops.len() as u64);
+            if ops.is_empty() {
+                reply.send(id, &Response::Batch(Vec::new()));
+                return;
+            }
+            // Split by shard, remembering each op's original position.
+            let mut parts: Vec<(Vec<usize>, Vec<SubOp>)> = vec![Default::default(); n];
+            for (pos, op) in ops.into_iter().enumerate() {
+                let s = shard_for_key(op.key(), n);
+                parts[s].0.push(pos);
+                parts[s].1.push(match op {
+                    BatchOp::Put { key, value } => SubOp::Put { key, value },
+                    BatchOp::Delete { key } => SubOp::Delete { key },
+                    BatchOp::Get { key } => SubOp::Get { key },
+                });
+            }
+            let live: Vec<usize> = (0..n).filter(|&s| !parts[s].1.is_empty()).collect();
+            let total: usize = parts.iter().map(|(slots, _)| slots.len()).sum();
+            let acc = BatchAcc::new(id, reply.clone(), total, live.len(), obs.clone());
+            for s in live {
+                let (slots, sub_ops) = std::mem::take(&mut parts[s]);
+                let accepted = shared.shards[s].submit(Submission {
+                    ops: sub_ops,
+                    ack: Ack::BatchPart {
+                        acc: acc.clone(),
+                        slots,
+                    },
+                });
+                if !accepted {
+                    reply.send(id, &Response::Err("server shutting down".into()));
+                    return;
+                }
+            }
+        }
+        Request::Stats => {
+            obs.stats_requests.inc();
+            reply.send(id, &Response::Stats(stats_document(shared)));
+        }
+        Request::Ping { sync } => {
+            obs.pings.inc();
+            if sync {
+                // The wire form of `quiesce`: wait until every accepted
+                // submission is committed and every shard's background
+                // work is done. Blocks only this connection's reader.
+                for shard in &shared.shards {
+                    shard.wait_idle_and_quiesce();
+                }
+            }
+            reply.send(id, &Response::Ok);
+        }
+    }
+}
+
+fn stats_document(shared: &Arc<ServerShared>) -> String {
+    let mut shard_docs = std::collections::BTreeMap::new();
+    for (i, shard) in shared.shards.iter().enumerate() {
+        if let Some(json) = shard.store().snapshot_json() {
+            if let Ok(doc) = Json::parse(&json) {
+                shard_docs.insert(format!("shard{i}"), doc);
+            }
+        }
+    }
+    let merged =
+        Json::parse(&merged_snapshot_json(shared)).expect("merged snapshot is well-formed JSON");
+    let doc = Json::obj(vec![
+        ("server", shared.obs.registry.export().to_json()),
+        ("shards", Json::Obj(shard_docs)),
+        ("merged", merged),
+    ]);
+    format!("{doc}")
+}
+
+fn merged_snapshot_json(shared: &Arc<ServerShared>) -> String {
+    let export = shared.obs.registry.export();
+    for shard in &shared.shards {
+        let Some(json) = shard.store().snapshot_json() else {
+            continue;
+        };
+        let Ok(mut snap) = Json::parse(&json).and_then(|j| StatsSnapshot::from_json(&j)) else {
+            continue;
+        };
+        snap.system = format!("{}-server", snap.system);
+        for (k, v) in &export.counters {
+            snap.memory.counters.insert(k.clone(), *v);
+        }
+        for (k, v) in &export.gauges {
+            snap.memory.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &export.histograms {
+            snap.memory.histograms.insert(k.clone(), h.clone());
+        }
+        return snap.to_json_string();
+    }
+    // No instrumented shard: serve the server registry alone.
+    let doc = Json::obj(vec![
+        ("system", Json::Str("server".into())),
+        ("server", export.to_json()),
+    ]);
+    format!("{doc}")
+}

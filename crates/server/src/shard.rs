@@ -1,0 +1,365 @@
+//! One shard: a bounded submission queue in front of a [`KvStore`], drained
+//! by a committer thread in group-commit rounds.
+//!
+//! Writes are acked only after their whole batch is applied. Under eADR the
+//! engine's append publish (the sub-MemTable header CAS) *is* the
+//! persistence event, so "batch fully applied" is the batch's commit point:
+//! an ack observed before a power failure implies every write of that batch
+//! reached the persistence domain. The crash harness
+//! (`tests/server_crash.rs`) kills a shard mid-traffic and verifies exactly
+//! that.
+//!
+//! The queue is bounded: when it is full, [`Shard::submit`] blocks the
+//! calling connection-reader thread, which stops draining the transport,
+//! which backpressures the client — no unbounded buffering anywhere in the
+//! pipeline.
+
+use crate::obs::ServerObs;
+use crate::protocol::{BatchReply, Response};
+use crate::server::ReplySender;
+use cachekv_lsm::KvStore;
+use cachekv_obs::Histogram;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One operation inside a submission (already routed to this shard).
+#[derive(Debug, Clone)]
+pub enum SubOp {
+    Put {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    Delete {
+        key: Vec<u8>,
+    },
+    /// Batch gets ride the queue so a batch observes its own prior writes
+    /// on the same shard (top-level GETs never enter the queue).
+    Get {
+        key: Vec<u8>,
+    },
+}
+
+/// One op's outcome, mirrored into the wire reply.
+#[derive(Debug, Clone)]
+pub enum SubResult {
+    Ok,
+    Value(Vec<u8>),
+    NotFound,
+    Err(String),
+}
+
+impl From<SubResult> for BatchReply {
+    fn from(r: SubResult) -> BatchReply {
+        match r {
+            SubResult::Ok => BatchReply::Ok,
+            SubResult::Value(v) => BatchReply::Value(v),
+            SubResult::NotFound => BatchReply::NotFound,
+            SubResult::Err(e) => BatchReply::Err(e),
+        }
+    }
+}
+
+/// Accumulates a cross-shard BATCH: each shard's part fills its slots; the
+/// last part to finish sends the combined response.
+pub struct BatchAcc {
+    id: u64,
+    reply: ReplySender,
+    slots: Mutex<Vec<Option<BatchReply>>>,
+    remaining: AtomicUsize,
+    started: Instant,
+    obs: Arc<ServerObs>,
+}
+
+impl BatchAcc {
+    pub fn new(
+        id: u64,
+        reply: ReplySender,
+        total_ops: usize,
+        parts: usize,
+        obs: Arc<ServerObs>,
+    ) -> Arc<Self> {
+        Arc::new(BatchAcc {
+            id,
+            reply,
+            slots: Mutex::new(vec![None; total_ops]),
+            remaining: AtomicUsize::new(parts),
+            started: Instant::now(),
+            obs,
+        })
+    }
+
+    /// Record one shard part's results (`slots[i]` ↔ `results[i]`) and send
+    /// the response if this was the last outstanding part.
+    fn complete_part(&self, slot_idx: &[usize], results: Vec<SubResult>) {
+        {
+            let mut slots = self.slots.lock();
+            for (i, r) in slot_idx.iter().zip(results) {
+                slots[*i] = Some(r.into());
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let replies: Vec<BatchReply> = self
+                .slots
+                .lock()
+                .iter_mut()
+                .map(|s| s.take().expect("every batch slot filled"))
+                .collect();
+            self.obs
+                .batch_ns
+                .record(self.started.elapsed().as_nanos() as u64);
+            self.reply.send(self.id, &Response::Batch(replies));
+        }
+    }
+}
+
+/// How a completed submission reports back to its connection.
+pub enum Ack {
+    /// A single PUT/DELETE: reply `Ok`/`Err` after the commit round.
+    Single {
+        id: u64,
+        reply: ReplySender,
+        started: Instant,
+        latency: Arc<Histogram>,
+    },
+    /// This shard's slice of a BATCH.
+    BatchPart {
+        acc: Arc<BatchAcc>,
+        /// Position of each op in the client's original batch order.
+        slots: Vec<usize>,
+    },
+}
+
+/// One unit on the submission queue: the ops plus their ack route.
+pub struct Submission {
+    pub ops: Vec<SubOp>,
+    pub ack: Ack,
+}
+
+struct ShardQueue {
+    items: VecDeque<Submission>,
+    /// Submissions accepted but not yet acked (queued or mid-commit).
+    in_flight: usize,
+}
+
+struct ShardInner {
+    store: Arc<dyn KvStore>,
+    q: Mutex<ShardQueue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    idle: Condvar,
+    cap: usize,
+    commit_max: usize,
+    stop: AtomicBool,
+    obs: Arc<ServerObs>,
+}
+
+/// A store shard plus its committer thread.
+pub struct Shard {
+    inner: Arc<ShardInner>,
+    committer: Option<JoinHandle<()>>,
+}
+
+impl Shard {
+    /// Spawn the committer for `store`. `cap` bounds the submission queue;
+    /// `commit_max` caps submissions per group-commit round.
+    pub fn spawn(
+        index: usize,
+        store: Arc<dyn KvStore>,
+        cap: usize,
+        commit_max: usize,
+        obs: Arc<ServerObs>,
+    ) -> Shard {
+        let inner = Arc::new(ShardInner {
+            store,
+            q: Mutex::new(ShardQueue {
+                items: VecDeque::new(),
+                in_flight: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            idle: Condvar::new(),
+            cap: cap.max(1),
+            commit_max: commit_max.max(1),
+            stop: AtomicBool::new(false),
+            obs,
+        });
+        let committer = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name(format!("cachekv-shard-{index}"))
+                .spawn(move || committer_loop(&inner))
+                .expect("spawn shard committer")
+        };
+        Shard {
+            inner,
+            committer: Some(committer),
+        }
+    }
+
+    /// Direct read access for the inline (non-queued) GET path.
+    pub fn store(&self) -> &Arc<dyn KvStore> {
+        &self.inner.store
+    }
+
+    /// Enqueue a submission, blocking while the queue is full
+    /// (backpressure). Returns `false` if the shard is shutting down.
+    pub fn submit(&self, sub: Submission) -> bool {
+        let inner = &self.inner;
+        let mut q = inner.q.lock();
+        if q.items.len() >= inner.cap {
+            inner.obs.backpressure_waits.inc();
+            while q.items.len() >= inner.cap {
+                if inner.stop.load(Ordering::Acquire) {
+                    return false;
+                }
+                inner.not_full.wait(&mut q);
+            }
+        }
+        if inner.stop.load(Ordering::Acquire) {
+            return false;
+        }
+        q.items.push_back(sub);
+        q.in_flight += 1;
+        inner.obs.queue_depth.inc();
+        drop(q);
+        inner.not_empty.notify_one();
+        true
+    }
+
+    /// Block until every accepted submission has been committed and acked,
+    /// then quiesce the store (flushes, compactions). The wire form is
+    /// `PING(sync)`.
+    pub fn wait_idle_and_quiesce(&self) {
+        let inner = &self.inner;
+        {
+            let mut q = inner.q.lock();
+            while q.in_flight > 0 {
+                inner.idle.wait(&mut q);
+            }
+        }
+        inner.store.quiesce();
+    }
+
+    /// Current queue depth (tests / stats).
+    pub fn queue_len(&self) -> usize {
+        self.inner.q.lock().items.len()
+    }
+
+    /// Stop the committer *after* draining: everything already accepted is
+    /// committed and acked before the thread exits.
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+        if let Some(h) = self.committer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+        if let Some(h) = self.committer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn committer_loop(inner: &Arc<ShardInner>) {
+    loop {
+        let batch: Vec<Submission> = {
+            let mut q = inner.q.lock();
+            while q.items.is_empty() {
+                if inner.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                inner.not_empty.wait(&mut q);
+            }
+            inner.obs.queue_depth_hist.record(q.items.len() as u64);
+            let n = q.items.len().min(inner.commit_max);
+            let batch: Vec<Submission> = q.items.drain(..n).collect();
+            inner.obs.queue_depth.add(-(n as i64));
+            batch
+        };
+        inner.not_full.notify_all();
+        commit_round(inner, batch);
+    }
+}
+
+/// Apply one batch of submissions, then ack them all: the group commit.
+fn commit_round(inner: &Arc<ShardInner>, batch: Vec<Submission>) {
+    let _ctx = cachekv_pmem::fault_context("server::group_commit");
+    let store = &inner.store;
+    let obs = &inner.obs;
+    let mut entries = 0u64;
+    let mut results: Vec<Vec<SubResult>> = Vec::with_capacity(batch.len());
+    for sub in &batch {
+        let rs = sub
+            .ops
+            .iter()
+            .map(|op| {
+                entries += 1;
+                match op {
+                    SubOp::Put { key, value } => match store.put(key, value) {
+                        Ok(()) => SubResult::Ok,
+                        Err(e) => {
+                            obs.errors.inc();
+                            SubResult::Err(e.to_string())
+                        }
+                    },
+                    SubOp::Delete { key } => match store.delete(key) {
+                        Ok(()) => SubResult::Ok,
+                        Err(e) => {
+                            obs.errors.inc();
+                            SubResult::Err(e.to_string())
+                        }
+                    },
+                    SubOp::Get { key } => match store.get(key) {
+                        Ok(Some(v)) => SubResult::Value(v),
+                        Ok(None) => SubResult::NotFound,
+                        Err(e) => {
+                            obs.errors.inc();
+                            SubResult::Err(e.to_string())
+                        }
+                    },
+                }
+            })
+            .collect();
+        results.push(rs);
+    }
+    // Commit point: every write of the round is applied (durable under
+    // eADR). Only now are acks released.
+    obs.group_commits.inc();
+    obs.batch_size.record(entries);
+    let acked = batch.len();
+    for (sub, rs) in batch.into_iter().zip(results) {
+        match sub.ack {
+            Ack::Single {
+                id,
+                reply,
+                started,
+                latency,
+            } => {
+                latency.record(started.elapsed().as_nanos() as u64);
+                let resp = match rs.first() {
+                    Some(SubResult::Err(e)) => Response::Err(e.clone()),
+                    _ => Response::Ok,
+                };
+                reply.send(id, &resp);
+            }
+            Ack::BatchPart { acc, slots } => acc.complete_part(&slots, rs),
+        }
+    }
+    let mut q = inner.q.lock();
+    q.in_flight -= acked;
+    if q.in_flight == 0 {
+        inner.idle.notify_all();
+    }
+}

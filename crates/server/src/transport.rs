@@ -1,0 +1,459 @@
+//! Pluggable byte transports.
+//!
+//! The server accepts [`Connection`]s from a [`Transport`]; a connection is
+//! an independent read half and write half so the per-connection reader and
+//! writer threads can run concurrently (pipelining requires reading request
+//! K+1 while response K is still being written).
+//!
+//! Two implementations:
+//!
+//! * [`LoopbackTransport`] — an in-process duplex byte channel with a
+//!   bounded buffer per direction. Deterministic (no sockets, no ports),
+//!   used by the test suite, the crash harness, and the loopback bench; the
+//!   bounded buffer means transport backpressure is real even in-process.
+//! * [`TcpTransport`] — a `std::net` TCP listener (no async runtime; the
+//!   server runs a thread per connection, which is the right shape for the
+//!   thread-per-core engine underneath).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Force-closes a connection from a third thread (unblocking a reader
+/// parked in `read`); used by server shutdown.
+pub type Closer = Box<dyn Fn() + Send + Sync>;
+
+/// One accepted or dialed connection: a read half and a write half that can
+/// be moved to different threads, plus a closer usable from anywhere.
+pub struct Connection {
+    /// Peer label for logs/metrics ("loopback", "127.0.0.1:43210", ...).
+    pub peer: String,
+    pub rx: Box<dyn Read + Send>,
+    pub tx: Box<dyn Write + Send>,
+    pub closer: Closer,
+}
+
+/// Server-side listener abstraction.
+pub trait Transport: Send + Sync {
+    /// Block until the next connection arrives; `None` once the transport
+    /// has been closed (the accept loop should exit).
+    fn accept(&self) -> Option<Connection>;
+
+    /// Stop accepting: wakes any blocked `accept` and makes future dials
+    /// fail. Established connections are unaffected (the server drains
+    /// them separately).
+    fn close(&self);
+
+    /// Transport label for logs.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Loopback: bounded in-process byte pipes
+// ---------------------------------------------------------------------------
+
+/// Per-direction bounded byte buffer backing the loopback transport.
+const PIPE_CAP: usize = 256 << 10;
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    /// Writer half dropped: readers drain what's left, then see EOF.
+    write_closed: bool,
+    /// Reader half dropped: writers get `BrokenPipe` immediately.
+    read_closed: bool,
+}
+
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                write_closed: false,
+                read_closed: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        })
+    }
+}
+
+/// Read half of a loopback pipe.
+pub struct PipeReader(Arc<Pipe>);
+
+/// Write half of a loopback pipe.
+pub struct PipeWriter(Arc<Pipe>);
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !st.buf.is_empty() {
+                let n = out.len().min(st.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = st.buf.pop_front().unwrap();
+                }
+                drop(st);
+                self.0.writable.notify_all();
+                return Ok(n);
+            }
+            if st.write_closed {
+                return Ok(0); // clean EOF
+            }
+            st = self.0.readable.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.read_closed = true;
+        drop(st);
+        self.0.writable.notify_all();
+    }
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.read_closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "loopback peer closed",
+                ));
+            }
+            let room = PIPE_CAP - st.buf.len();
+            if room > 0 {
+                let n = data.len().min(room);
+                st.buf.extend(&data[..n]);
+                drop(st);
+                self.0.readable.notify_all();
+                return Ok(n);
+            }
+            // Buffer full: block — this is the transport-level backpressure
+            // the loopback shares with real sockets.
+            st = self.0.writable.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.write_closed = true;
+        drop(st);
+        self.0.readable.notify_all();
+    }
+}
+
+/// Create one unidirectional bounded byte pipe.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let p = Pipe::new();
+    (PipeWriter(p.clone()), PipeReader(p))
+}
+
+/// Hard-close a pipe in both roles: readers drain what is buffered then see
+/// EOF, writers fail with `BrokenPipe`.
+fn kill_pipe(p: &Arc<Pipe>) {
+    let mut st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+    st.write_closed = true;
+    st.read_closed = true;
+    drop(st);
+    p.readable.notify_all();
+    p.writable.notify_all();
+}
+
+/// In-process transport: `connect` hands the caller the client end of a
+/// fresh duplex channel and queues the server end for `accept`.
+pub struct LoopbackTransport {
+    pending: Mutex<VecDeque<Connection>>,
+    arrived: Condvar,
+    closed: AtomicBool,
+}
+
+impl LoopbackTransport {
+    pub fn new() -> Arc<Self> {
+        Arc::new(LoopbackTransport {
+            pending: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// Dial the server: returns the client-side [`Connection`], or `None`
+    /// if the transport is closed.
+    pub fn connect(&self) -> Option<Connection> {
+        if self.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        let c2s = Pipe::new();
+        let s2c = Pipe::new();
+        let closer = |a: Arc<Pipe>, b: Arc<Pipe>| -> Closer {
+            Box::new(move || {
+                kill_pipe(&a);
+                kill_pipe(&b);
+            })
+        };
+        let server_end = Connection {
+            peer: "loopback".into(),
+            rx: Box::new(PipeReader(c2s.clone())),
+            tx: Box::new(PipeWriter(s2c.clone())),
+            closer: closer(c2s.clone(), s2c.clone()),
+        };
+        let client_end = Connection {
+            peer: "loopback".into(),
+            rx: Box::new(PipeReader(s2c.clone())),
+            tx: Box::new(PipeWriter(c2s.clone())),
+            closer: closer(c2s, s2c),
+        };
+        let mut q = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if self.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        q.push_back(server_end);
+        drop(q);
+        self.arrived.notify_one();
+        Some(client_end)
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn accept(&self) -> Option<Connection> {
+        let mut q = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.arrived.notify_all();
+    }
+
+    fn name(&self) -> &'static str {
+        "loopback"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// `std::net` TCP listener transport.
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+    closed: AtomicBool,
+}
+
+impl TcpTransport {
+    /// Bind a listener (use port 0 for an ephemeral port in tests).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Arc<Self>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Arc::new(TcpTransport {
+            listener,
+            addr,
+            closed: AtomicBool::new(false),
+        }))
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Dial a server (client side); independent of any listener instance.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        tcp_connection(stream)
+    }
+}
+
+/// Split a `TcpStream` into a [`Connection`].
+pub fn tcp_connection(stream: TcpStream) -> io::Result<Connection> {
+    stream.set_nodelay(true).ok();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "tcp".into());
+    let rx = stream.try_clone()?;
+    let close_handle = stream.try_clone()?;
+    Ok(Connection {
+        peer,
+        rx: Box::new(rx),
+        tx: Box::new(stream),
+        closer: Box::new(move || {
+            let _ = close_handle.shutdown(std::net::Shutdown::Both);
+        }),
+    })
+}
+
+impl Transport for TcpTransport {
+    fn accept(&self) -> Option<Connection> {
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.closed.load(Ordering::Acquire) {
+                        return None;
+                    }
+                    match tcp_connection(stream) {
+                        Ok(conn) => return Some(conn),
+                        Err(_) => continue,
+                    }
+                }
+                Err(_) => {
+                    if self.closed.load(Ordering::Acquire) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        // Wake the accept loop with a throwaway self-connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_roundtrip_and_eof() {
+        let (mut w, mut r) = pipe();
+        w.write_all(b"abc").unwrap();
+        let mut buf = [0u8; 3];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        drop(w);
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "EOF after writer drop");
+    }
+
+    #[test]
+    fn pipe_backpressure_blocks_then_unblocks() {
+        let (mut w, mut r) = pipe();
+        let big = vec![7u8; PIPE_CAP + 1024];
+        let t = std::thread::spawn(move || {
+            w.write_all(&big).unwrap();
+            drop(w);
+        });
+        // Drain everything; the writer can only finish once we free room.
+        let mut total = 0usize;
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        assert_eq!(total, PIPE_CAP + 1024);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn pipe_write_after_reader_drop_is_broken() {
+        let (mut w, r) = pipe();
+        drop(r);
+        let err = w.write(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn loopback_connect_accept_duplex() {
+        let t = LoopbackTransport::new();
+        let mut client = t.connect().unwrap();
+        let mut server = t.accept().unwrap();
+        client.tx.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.rx.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        server.tx.write_all(b"pong").unwrap();
+        client.rx.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn loopback_close_unblocks_accept_and_refuses_dials() {
+        let t = LoopbackTransport::new();
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || t2.accept().is_none());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        t.close();
+        assert!(h.join().unwrap(), "accept observed close");
+        assert!(t.connect().is_none());
+    }
+
+    #[test]
+    fn closer_unblocks_parked_reader() {
+        let t = LoopbackTransport::new();
+        let _client = t.connect().unwrap(); // held open: reader would park forever
+        let Connection { mut rx, closer, .. } = t.accept().unwrap();
+        let h = std::thread::spawn(move || {
+            let mut b = [0u8; 1];
+            rx.read(&mut b).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        closer();
+        assert_eq!(h.join().unwrap(), 0, "closed connection reads EOF");
+    }
+
+    #[test]
+    fn tcp_accept_connect_roundtrip() {
+        let t = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let addr = t.local_addr();
+        let h = {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                let mut conn = t.accept().unwrap();
+                let mut buf = [0u8; 2];
+                conn.rx.read_exact(&mut buf).unwrap();
+                conn.tx.write_all(&buf).unwrap();
+            })
+        };
+        let mut c = TcpTransport::connect(addr).unwrap();
+        c.tx.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        c.rx.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        h.join().unwrap();
+        t.close();
+        assert!(t.accept().is_none());
+    }
+}

@@ -1,4 +1,8 @@
-//! An interactive shell over CacheKV on the simulated eADR platform.
+//! An interactive shell over the CacheKV *service*: a sharded [`KvServer`]
+//! on the simulated eADR platform, driven through the wire protocol via a
+//! [`KvClient`] on the in-process loopback transport. Every command below
+//! crosses the framed protocol and the group-commit write path — the same
+//! round trip a TCP client makes.
 //!
 //! ```sh
 //! cargo run --release --example kv_shell
@@ -6,12 +10,13 @@
 //!
 //! Commands:
 //! ```text
-//! put <key> <value>    insert or overwrite
+//! put <key> <value>    insert or overwrite (acked after group commit)
 //! get <key>            point lookup
-//! del <key>            delete
-//! stats                device counters + memory-component state
-//! snap                 full four-layer StatsSnapshot as JSON
-//! crash                inject a power failure and recover
+//! del <key>            delete (alias: delete)
+//! ping                 liveness probe; `ping sync` also drains + quiesces
+//! stats                server counters + per-shard device summaries
+//! snap                 full stats document (server + shards) as JSON
+//! crash                power-fail every shard, recover, restart the server
 //! help                 this text
 //! quit                 exit
 //! ```
@@ -19,15 +24,106 @@
 use cachekv::{CacheKv, CacheKvConfig};
 use cachekv_cache::{CacheConfig, Hierarchy};
 use cachekv_lsm::KvStore;
+use cachekv_obs::Json;
 use cachekv_pmem::{PmemConfig, PmemDevice};
+use cachekv_server::{KvClient, KvServer, LoopbackTransport, ServerConfig};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
+const SHARDS: usize = 2;
+
+/// Per-shard simulated platform state kept across server restarts so the
+/// `crash` command can power-fail and recover in place.
+struct ShardState {
+    dev: Arc<PmemDevice>,
+    hier: Arc<Hierarchy>,
+}
+
+fn fresh_shards() -> (Vec<ShardState>, Vec<Arc<dyn KvStore>>) {
+    let mut shards = Vec::new();
+    let mut stores: Vec<Arc<dyn KvStore>> = Vec::new();
+    for _ in 0..SHARDS {
+        let dev = Arc::new(PmemDevice::new(PmemConfig::paper_scaled()));
+        let hier = Arc::new(Hierarchy::new(dev.clone(), CacheConfig::paper()));
+        stores.push(Arc::new(CacheKv::create(
+            hier.clone(),
+            CacheKvConfig::default(),
+        )));
+        shards.push(ShardState { dev, hier });
+    }
+    (shards, stores)
+}
+
+fn start_server(stores: Vec<Arc<dyn KvStore>>) -> (KvServer, KvClient) {
+    let transport = LoopbackTransport::new();
+    let server = KvServer::start(stores, transport.clone(), ServerConfig::default());
+    let client = KvClient::connect(transport.connect().expect("loopback dial"));
+    (server, client)
+}
+
+fn print_stats(client: &KvClient) {
+    let doc = match client.stats() {
+        Ok(d) => d,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    let Ok(v) = Json::parse(&doc) else {
+        println!("error: unparseable stats document");
+        return;
+    };
+    if let Some(c) = v
+        .get("server")
+        .and_then(|s| s.get("counters"))
+        .and_then(Json::as_obj)
+    {
+        let n = |k: &str| c.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "server : {} requests ({} gets, {} puts, {} deletes, {} batches), {} errors",
+            n("server.requests"),
+            n("server.gets"),
+            n("server.puts"),
+            n("server.deletes"),
+            n("server.batches"),
+            n("server.errors"),
+        );
+        println!(
+            "commit : {} group commits over {} writes, {} backpressure waits",
+            n("server.group_commit.commits"),
+            n("server.puts") + n("server.deletes") + n("server.batch_ops"),
+            n("server.backpressure_waits"),
+        );
+    }
+    if let Some(shards) = v.get("shards").and_then(Json::as_obj) {
+        for (label, snap) in shards {
+            let d = |k: &str| {
+                snap.get("device")
+                    .and_then(|d| d.get(k))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            let ratio = snap
+                .get("device")
+                .and_then(|dv| dv.get("write_hit_ratio"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            println!(
+                "{label} : {} cacheline writes, hit ratio {:.1}%, {} media bytes",
+                d("cpu_writes"),
+                ratio * 100.0,
+                d("media_write_bytes"),
+            );
+        }
+    }
+}
+
 fn main() {
-    let dev = Arc::new(PmemDevice::new(PmemConfig::paper_scaled()));
-    let hier = Arc::new(Hierarchy::new(dev, CacheConfig::paper()));
-    let mut db = CacheKv::create(hier.clone(), CacheKvConfig::default());
-    println!("CacheKV shell — simulated eADR platform. Type `help` for commands.");
+    let (mut shards, stores) = fresh_shards();
+    let (mut server, mut client) = start_server(stores);
+    println!(
+        "CacheKV shell — {SHARDS}-shard service over loopback wire protocol. Type `help` for commands."
+    );
 
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -42,74 +138,86 @@ fn main() {
         match parts.next() {
             None => {}
             Some("put") => match (parts.next(), parts.next()) {
-                (Some(k), Some(v)) => match db.put(k.as_bytes(), v.as_bytes()) {
+                (Some(k), Some(v)) => match client.put(k.as_bytes(), v.as_bytes()) {
                     Ok(()) => println!("ok"),
                     Err(e) => println!("error: {e}"),
                 },
                 _ => println!("usage: put <key> <value>"),
             },
             Some("get") => match parts.next() {
-                Some(k) => match db.get(k.as_bytes()) {
+                Some(k) => match client.get(k.as_bytes()) {
                     Ok(Some(v)) => println!("{}", String::from_utf8_lossy(&v)),
                     Ok(None) => println!("(nil)"),
                     Err(e) => println!("error: {e}"),
                 },
                 None => println!("usage: get <key>"),
             },
-            Some("del") => match parts.next() {
-                Some(k) => match db.delete(k.as_bytes()) {
+            Some("del") | Some("delete") => match parts.next() {
+                Some(k) => match client.delete(k.as_bytes()) {
                     Ok(()) => println!("ok"),
                     Err(e) => println!("error: {e}"),
                 },
                 None => println!("usage: del <key>"),
             },
-            Some("stats") => {
-                let s = hier.pmem_stats();
-                let (sealing, pending, global_keys, flushed) = db.memory_stats();
-                println!(
-                    "device : {} cacheline writes, hit ratio {:.1}%, write amp {:.2}x",
-                    s.cpu_writes,
-                    s.write_hit_ratio() * 100.0,
-                    s.write_amplification()
-                );
-                println!(
-                    "memory : {sealing} sealing, {pending} pending flushed, {global_keys} global keys, {flushed} flushed bytes"
-                );
-                println!(
-                    "pool   : {} slots ({} free)",
-                    db.pool().slot_count(),
-                    db.pool().free_slots()
-                );
-                println!("levels : {:?} tables", db.storage().level_tables());
-            }
-            Some("snap") => {
-                let snap = db.snapshot();
-                println!("{}", snap.to_json_string());
-                println!(
-                    "(write p99 {} sim-ns over {} writes)",
-                    snap.memory.histograms["core.write_ns"].p99(),
-                    snap.memory.histograms["core.write_ns"].count
-                );
-            }
-            Some("crash") => {
-                drop(db);
-                hier.power_fail();
-                match CacheKv::recover(hier.clone(), CacheKvConfig::default()) {
-                    Ok(recovered) => {
-                        db = recovered;
-                        println!("power failure injected; recovery complete");
-                    }
-                    Err(e) => {
-                        println!("recovery failed: {e}");
-                        return;
-                    }
+            Some("ping") => {
+                let sync = parts.next() == Some("sync");
+                match client.ping(sync) {
+                    Ok(()) if sync => println!("pong (drained + quiesced)"),
+                    Ok(()) => println!("pong"),
+                    Err(e) => println!("error: {e}"),
                 }
             }
+            Some("stats") => print_stats(&client),
+            Some("snap") => match client.stats() {
+                Ok(doc) => println!("{doc}"),
+                Err(e) => println!("error: {e}"),
+            },
+            Some("crash") => {
+                // Tear the service down (drains in-flight commits), cut
+                // power on every shard, recover each store from its
+                // surviving media, and restart the server on them.
+                client.close();
+                server.shutdown();
+                let mut stores: Vec<Arc<dyn KvStore>> = Vec::new();
+                let mut next = Vec::new();
+                let mut failed = false;
+                for s in shards.drain(..) {
+                    s.hier.power_fail();
+                    let dev = Arc::new(PmemDevice::from_media(
+                        s.dev.config().clone(),
+                        s.dev.clone_media(),
+                    ));
+                    let hier = Arc::new(Hierarchy::new(dev.clone(), CacheConfig::paper()));
+                    match CacheKv::recover(hier.clone(), CacheKvConfig::default()) {
+                        Ok(db) => {
+                            stores.push(Arc::new(db));
+                            next.push(ShardState { dev, hier });
+                        }
+                        Err(e) => {
+                            println!("recovery failed: {e}");
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+                if failed {
+                    return;
+                }
+                shards = next;
+                let (s, c) = start_server(stores);
+                server = s;
+                client = c;
+                println!("power failure injected on every shard; service recovered");
+            }
             Some("help") => {
-                println!("put <k> <v> | get <k> | del <k> | stats | snap | crash | quit")
+                println!(
+                    "put <k> <v> | get <k> | del <k> | ping [sync] | stats | snap | crash | quit"
+                )
             }
             Some("quit") | Some("exit") => break,
             Some(other) => println!("unknown command: {other} (try `help`)"),
         }
     }
+    client.close();
+    server.shutdown();
 }
