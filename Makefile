@@ -45,8 +45,12 @@ bench-smoke:
 		$(CARGO) bench -p cachekv-bench --bench fig11_read_throughput
 	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
 		$(CARGO) bench -p cachekv-bench --bench server_loopback
+	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
+		CACHEKV_AB_DIR=$(CURDIR)/target/metrics \
+		$(CARGO) bench -p cachekv-bench --bench write_ab
 	CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
 		$(CARGO) run -q -p cachekv-bench --bin validate_metrics -- \
 		$(CURDIR)/target/metrics/fig10_write_throughput.json \
 		$(CURDIR)/target/metrics/fig11_read_throughput.json \
-		$(CURDIR)/target/metrics/server_loopback.json
+		$(CURDIR)/target/metrics/server_loopback.json \
+		$(CURDIR)/target/metrics/write_ab.json

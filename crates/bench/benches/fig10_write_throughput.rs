@@ -5,7 +5,7 @@
 //! SLM-DB-cache ≳ SLM-DB, with CacheKV's lead growing as values shrink.
 
 use cachekv_bench::{banner, build, row, BenchScale, MetricsSink, SystemKind};
-use cachekv_workloads::{run_ops, DbBench, KeyGen, ValueGen};
+use cachekv_workloads::{run_ops_with_latency, DbBench, KeyGen, ValueGen};
 
 fn main() {
     let scale = BenchScale::default();
@@ -30,10 +30,11 @@ fn main() {
         );
         for kind in SystemKind::exp1_set() {
             let mut cells = Vec::new();
+            let mut p99_cells = Vec::new();
             for &vs in &value_sizes {
                 let inst = build(kind, &scale);
                 let value = ValueGen::new(vs);
-                let m = run_ops(
+                let (m, lat) = run_ops_with_latency(
                     &inst.store,
                     mode,
                     scale.keyspace,
@@ -43,10 +44,14 @@ fn main() {
                     &value,
                 );
                 cells.push(format!("{:.1}", m.kops()));
+                p99_cells.push(format!("{:.1}", lat.p99() as f64 / 1e3));
                 inst.store.quiesce();
-                sink.record(&format!("{}/{tag}/{vs}B", kind.name()), &inst);
+                let label = format!("{}/{tag}/{vs}B", kind.name());
+                sink.record(&label, &inst);
+                sink.record_measurement(&label, m.kops(), lat.p50(), lat.p99());
             }
             row(kind.name(), &cells);
+            row("  p99 put µs", &p99_cells);
         }
     }
     sink.write();

@@ -1,0 +1,378 @@
+//! Interleaved A/B write benchmark for the housekeeping redesign.
+//!
+//! **baseline** emulates the pre-partitioned housekeeping contract: every
+//! SC round re-folds the *entire* global index (`sc_full_fold`), one
+//! housekeeping worker, and an admission watermark at its floor so writers
+//! block whenever maintenance lags — the synchronous-housekeeping stall
+//! the redesign removes. **after** is the shipped configuration:
+//! range-partitioned incremental SC, parallel per-segment merges, generous
+//! watermark. Trials are interleaved with the arm order alternating each
+//! trial (A,B then B,A, …) so machine drift lands on both arms equally;
+//! the summary reports per-arm medians.
+//!
+//! Emits `BENCH_WRITE_BASELINE.json` / `BENCH_WRITE_AFTER.json` into
+//! `$CACHEKV_AB_DIR` (default: the working directory) carrying per-trial
+//! throughput and put p50/p99, plus a `write_ab` MetricsSink artifact.
+//!
+//! A final **hot-range skew** section asserts the tentpole's cost model
+//! from the per-round merge-bytes counter: with updates confined to a
+//! narrow key range, an SC round merges only the overlapped segments, so
+//! per-round merge bytes stay well below total index size.
+
+use cachekv::{CacheKv, CacheKvConfig, Techniques};
+use cachekv_bench::{
+    banner, bench_storage, fresh_hierarchy, row, BenchScale, Instance, MetricsSink, SystemKind,
+};
+use cachekv_lsm::KvStore;
+use cachekv_obs::Json;
+use cachekv_workloads::{
+    fill, run_ops_with_latency, run_ycsb_with_latency, DbBench, KeyGen, ValueGen, YcsbWorkload,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const TRIALS: usize = 6;
+const VALUE_BYTES: usize = 100;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    Baseline,
+    After,
+}
+
+impl Variant {
+    fn name(self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::After => "after",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Variant::Baseline => 0,
+            Variant::After => 1,
+        }
+    }
+}
+
+/// Dump threshold scaled so maintenance actually runs several times within
+/// one measured phase (and the baseline watermark — floored at 2x this —
+/// actually gates) at any `CACHEKV_OPS`.
+fn dump_threshold(scale: &BenchScale, key: &KeyGen) -> u64 {
+    let per_put = (key.width() + VALUE_BYTES + 16) as u64;
+    (scale.ops * per_put / 5).clamp(64 << 10, 4 << 20)
+}
+
+fn build_variant(v: Variant, scale: &BenchScale, key: &KeyGen) -> (Arc<CacheKv>, Instance) {
+    let cfg = CacheKvConfig {
+        // Smaller sub-MemTables than the figure defaults so one measured
+        // phase crosses many seal→flush→SC→dump cycles: the A/B compares
+        // maintenance regimes, which a near-maintenance-free run can't.
+        pool_bytes: 8 << 20,
+        subtable_bytes: 256 << 10,
+        min_subtable_bytes: 128 << 10,
+        flush_threads: 1,
+        techniques: Techniques::all(),
+        storage: bench_storage(),
+        num_cores: 24,
+        dump_threshold_bytes: dump_threshold(scale, key),
+        ..CacheKvConfig::default()
+    };
+    let cfg = match v {
+        // Monolithic refold, one worker, watermark at its floor
+        // (2 x dump threshold): writers block whenever maintenance lags.
+        Variant::Baseline => CacheKvConfig {
+            sc_full_fold: true,
+            housekeeping_threads: 1,
+            hk_backpressure_bytes: 1,
+            ..cfg
+        },
+        Variant::After => cfg,
+    };
+    let hier = fresh_hierarchy();
+    let db = Arc::new(CacheKv::create(hier.clone(), cfg));
+    let store: Arc<dyn KvStore> = db.clone();
+    (
+        db,
+        Instance {
+            kind: SystemKind::CacheKv,
+            store,
+            hier,
+        },
+    )
+}
+
+/// One phase's per-trial numbers.
+#[derive(Default)]
+struct Series {
+    kops: Vec<f64>,
+    p50_ns: Vec<u64>,
+    p99_ns: Vec<u64>,
+}
+
+impl Series {
+    fn mean_kops(&self) -> f64 {
+        if self.kops.is_empty() {
+            0.0
+        } else {
+            self.kops.iter().sum::<f64>() / self.kops.len() as f64
+        }
+    }
+
+    fn median_kops(&self) -> f64 {
+        let mut v = self.kops.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v.get(v.len() / 2).copied().unwrap_or(0.0)
+    }
+
+    fn median_p99(&self) -> u64 {
+        let mut v = self.p99_ns.clone();
+        v.sort_unstable();
+        v.get(v.len() / 2).copied().unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "kops",
+                Json::Arr(self.kops.iter().map(|k| Json::Num(*k)).collect()),
+            ),
+            (
+                "put_p50_ns",
+                Json::Arr(self.p50_ns.iter().map(|n| Json::UInt(*n)).collect()),
+            ),
+            (
+                "put_p99_ns",
+                Json::Arr(self.p99_ns.iter().map(|n| Json::UInt(*n)).collect()),
+            ),
+            ("kops_mean", Json::Num(self.mean_kops())),
+            ("kops_median", Json::Num(self.median_kops())),
+            ("put_p99_ns_median", Json::UInt(self.median_p99())),
+        ])
+    }
+}
+
+fn ab_dir() -> PathBuf {
+    std::env::var("CACHEKV_AB_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn write_artifact(variant: Variant, scale: &BenchScale, fillrandom: &Series, ycsb_a: &Series) {
+    let doc = Json::obj(vec![
+        ("variant", Json::Str(variant.name().to_string())),
+        ("ops", Json::UInt(scale.ops)),
+        ("trials", Json::UInt(TRIALS as u64)),
+        ("value_bytes", Json::UInt(VALUE_BYTES as u64)),
+        ("fillrandom", fillrandom.to_json()),
+        ("ycsb_a", ycsb_a.to_json()),
+    ]);
+    let path = ab_dir().join(format!(
+        "BENCH_WRITE_{}.json",
+        variant.name().to_ascii_uppercase()
+    ));
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => println!("(A/B artifact: {})", path.display()),
+        Err(e) => eprintln!("write_ab: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Hot-range skew: per-round SC merge bytes must stay well below total
+/// index size once updates are confined to a narrow range.
+fn skew_section(scale: &BenchScale, key: &KeyGen, sink: &mut MetricsSink) {
+    banner(
+        "write A/B (skew)",
+        "hot-range updates — per-round merge bytes vs index size",
+    );
+    let cfg = CacheKvConfig {
+        pool_bytes: scale.pool_bytes,
+        subtable_bytes: 64 << 10,
+        min_subtable_bytes: 32 << 10,
+        flush_threads: 1,
+        techniques: Techniques::all(),
+        storage: bench_storage(),
+        num_cores: 24,
+        // Keep the whole index resident: no dump retires it mid-measure.
+        dump_threshold_bytes: 256 << 20,
+        hk_backpressure_bytes: 0,
+        sc_segment_target_entries: 2048,
+        ..CacheKvConfig::default()
+    };
+    let hier = fresh_hierarchy();
+    let db = Arc::new(CacheKv::create(hier.clone(), cfg));
+    let store: Arc<dyn KvStore> = db.clone();
+
+    let wide = scale.ops.max(20_000);
+    let hot = 1024u64.min(wide / 8);
+    let rounds = 10u64;
+    let value = ValueGen::new(VALUE_BYTES);
+    fill(&store, wide, key, &value);
+
+    let before = db.snapshot();
+    let mut kbuf = vec![0u8; key.width()];
+    let mut vbuf = Vec::new();
+    for r in 0..rounds {
+        for i in 0..hot {
+            // Fixed-stride permutation of the hot range, varied per round.
+            let id = (i * 389 + r * 17) % hot;
+            key.key_into(id, &mut kbuf);
+            value.value_into(id, &mut vbuf);
+            store.put(&kbuf, &vbuf).expect("skew put");
+        }
+    }
+    db.quiesce();
+    let after = db.snapshot();
+
+    let merge_bytes = after.memory.counters["core.sc.merge_bytes"]
+        - before.memory.counters["core.sc.merge_bytes"];
+    let sc_rounds =
+        after.memory.counters["core.sc.merges"] - before.memory.counters["core.sc.merges"];
+    let index_bytes = after.memory.gauges["core.sc.index_bytes"].max(0) as u64;
+    assert!(sc_rounds > 0, "hot phase never triggered an SC round");
+    assert!(
+        index_bytes > 0,
+        "index retired mid-measure; raise dump threshold"
+    );
+    let per_round = merge_bytes / sc_rounds;
+    row(
+        "hot range",
+        &[
+            format!("{hot} of {wide} keys"),
+            format!("{sc_rounds} SC rounds"),
+            format!("{} KiB/round merged", per_round >> 10),
+            format!("{} KiB index", index_bytes >> 10),
+        ],
+    );
+    // The partitioned-index cost model: a round touches only overlapped
+    // segments, so per-round merge bytes ≪ total index size.
+    assert!(
+        per_round < index_bytes / 2,
+        "SC round cost not proportional to touched range: \
+         {per_round} B/round vs {index_bytes} B index"
+    );
+    let inst = Instance {
+        kind: SystemKind::CacheKv,
+        store,
+        hier,
+    };
+    sink.record("CacheKV/skew/hot_range", &inst);
+    // Measurement row reuses the slots: "kops" carries the per-round merge
+    // fraction, the latency pair carries (per-round bytes, index bytes).
+    sink.record_measurement(
+        "CacheKV/skew/per_round_merge_fraction",
+        per_round as f64 / index_bytes as f64,
+        per_round,
+        index_bytes,
+    );
+}
+
+fn main() {
+    let scale = BenchScale::default();
+    let key = KeyGen::paper();
+    let value = ValueGen::new(VALUE_BYTES);
+    let mut sink = MetricsSink::new("write_ab");
+
+    banner(
+        "write A/B",
+        &format!(
+            "monolithic+gated baseline vs partitioned off-path SC — {} ops, {TRIALS} interleaved trials",
+            scale.ops
+        ),
+    );
+
+    let variants = [Variant::Baseline, Variant::After];
+    let mut fillrandom = [Series::default(), Series::default()];
+    let mut ycsb_a = [Series::default(), Series::default()];
+
+    for trial in 0..TRIALS {
+        // Alternate which arm runs first each trial: on a small host any
+        // monotonic drift (thermal, cache warmup, background load decay)
+        // would otherwise land systematically on the second arm.
+        let order = if trial % 2 == 0 {
+            [Variant::Baseline, Variant::After]
+        } else {
+            [Variant::After, Variant::Baseline]
+        };
+        for &v in &order {
+            let vi = v.index();
+            // fillrandom: 1 writer thread, fresh store per trial.
+            let (db, inst) = build_variant(v, &scale, &key);
+            let (m, lat) = run_ops_with_latency(
+                &inst.store,
+                DbBench::FillRandom,
+                scale.keyspace,
+                scale.ops,
+                1,
+                &key,
+                &value,
+            );
+            db.quiesce();
+            fillrandom[vi].kops.push(m.kops());
+            fillrandom[vi].p50_ns.push(lat.p50());
+            fillrandom[vi].p99_ns.push(lat.p99());
+            let label = format!("CacheKV/{}/fillrandom/t{trial}", v.name());
+            sink.record(&label, &inst);
+            sink.record_measurement(&label, m.kops(), lat.p50(), lat.p99());
+            drop(inst);
+
+            // YCSB-A (50/50 update/read), 2 threads over a loaded store.
+            // Kept low relative to typical core counts: heavy thread
+            // oversubscription turns put-tail samples into scheduler noise.
+            let (db, inst) = build_variant(v, &scale, &key);
+            fill(&inst.store, scale.keyspace, &key, &value);
+            let (m, lat) = run_ycsb_with_latency(
+                &inst.store,
+                YcsbWorkload::A,
+                scale.keyspace,
+                scale.ops / 2,
+                2,
+                &key,
+                &value,
+            );
+            db.quiesce();
+            ycsb_a[vi].kops.push(m.kops());
+            ycsb_a[vi].p50_ns.push(lat.p50());
+            ycsb_a[vi].p99_ns.push(lat.p99());
+            let label = format!("CacheKV/{}/ycsb_a/t{trial}", v.name());
+            sink.record(&label, &inst);
+            sink.record_measurement(&label, m.kops(), lat.p50(), lat.p99());
+        }
+    }
+
+    for (phase, series) in [("fillrandom", &fillrandom), ("YCSB-A", &ycsb_a)] {
+        row(
+            phase,
+            &variants
+                .iter()
+                .enumerate()
+                .map(|(vi, v)| {
+                    format!(
+                        "{}: {:.1} kops, p99 {:.1} µs",
+                        v.name(),
+                        series[vi].median_kops(),
+                        us(series[vi].median_p99())
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!(
+        "put p99: fillrandom {:.1} µs -> {:.1} µs, YCSB-A {:.1} µs -> {:.1} µs",
+        us(fillrandom[0].median_p99()),
+        us(fillrandom[1].median_p99()),
+        us(ycsb_a[0].median_p99()),
+        us(ycsb_a[1].median_p99()),
+    );
+
+    for (vi, &v) in variants.iter().enumerate() {
+        write_artifact(v, &scale, &fillrandom[vi], &ycsb_a[vi]);
+    }
+
+    skew_section(&scale, &key, &mut sink);
+    sink.write();
+}

@@ -37,6 +37,11 @@ fn validate(path: &std::path::Path) {
     let mut fence_skips = 0u64;
     let mut bloom_skips = 0u64;
     let mut lsm_short_circuits = 0u64;
+    // Aggregated housekeeping counters (write_ab must prove the scheduler
+    // actually carried the maintenance work off the put path).
+    let mut hk_rounds = 0u64;
+    let mut sc_merges = 0u64;
+    let mut sc_merge_bytes = 0u64;
     // Aggregated service-layer counters (server artifacts must prove the
     // group-commit pipeline actually carried the workload).
     let mut server_requests = 0u64;
@@ -70,11 +75,23 @@ fn validate(path: &std::path::Path) {
                 ));
             }
         }
+        // Off-path housekeeping tripwire: a put must never execute a
+        // compaction merge inline.
+        if let Some(&inline) = snap.memory.counters.get("core.housekeeping.inline_merges") {
+            if inline != 0 {
+                fail(&format!(
+                    "{label}: {inline} compaction merges ran inline on the put path (must be 0)"
+                ));
+            }
+        }
         for (counter, slot) in [
             ("core.read.probes", &mut read_probes),
             ("core.read.fence_skips", &mut fence_skips),
             ("core.read.bloom_skips", &mut bloom_skips),
             ("core.read.lsm_short_circuits", &mut lsm_short_circuits),
+            ("core.housekeeping.rounds", &mut hk_rounds),
+            ("core.sc.merges", &mut sc_merges),
+            ("core.sc.merge_bytes", &mut sc_merge_bytes),
         ] {
             *slot += snap.memory.counters.get(counter).copied().unwrap_or(0);
         }
@@ -101,6 +118,53 @@ fn validate(path: &std::path::Path) {
                 .contains_key("core.put.phase.persist.ns")
             {
                 fail(&format!("{label}: missing persist phase histogram"));
+            }
+            // The housekeeping scheduler instruments must all be present:
+            // stall accounting, queue depth, and the per-segment merge
+            // latency distribution.
+            for key in [
+                "core.housekeeping.rounds",
+                "core.housekeeping.stalls",
+                "core.housekeeping.put_stalls",
+                "core.housekeeping.put_stall_ns",
+                "core.housekeeping.sync_dropped",
+                "core.housekeeping.inline_merges",
+                "core.sc.merge_bytes",
+            ] {
+                if !snap.memory.counters.contains_key(key) {
+                    fail(&format!("{label}: missing memory counter {key}"));
+                }
+            }
+            if !snap
+                .memory
+                .gauges
+                .contains_key("core.housekeeping.queue_depth")
+            {
+                fail(&format!(
+                    "{label}: missing gauge core.housekeeping.queue_depth"
+                ));
+            }
+            let merge_hist = snap
+                .memory
+                .histograms
+                .get("core.sc.segment_merge_ns")
+                .unwrap_or_else(|| {
+                    fail(&format!(
+                        "{label}: missing histogram core.sc.segment_merge_ns"
+                    ))
+                });
+            // Consistency: SC rounds that merged at least one segment must
+            // have recorded per-segment merge latencies.
+            let merged = snap
+                .memory
+                .counters
+                .get("core.sc.segments_merged")
+                .copied()
+                .unwrap_or(0);
+            if merged > 0 && merge_hist.count == 0 {
+                fail(&format!(
+                    "{label}: {merged} segments merged but core.sc.segment_merge_ns is empty"
+                ));
             }
         }
         // Server-merged snapshots must carry the full service-layer
@@ -155,6 +219,40 @@ fn validate(path: &std::path::Path) {
         ] {
             if total == 0 {
                 fail(&format!("read figure: {name} never fired across labels"));
+            }
+        }
+    }
+    // The A/B write artifact must prove the off-path scheduler carried the
+    // maintenance: rounds ran, segments merged, and bytes were accounted.
+    if fig.contains("write_ab") {
+        for (name, total) in [
+            ("core.housekeeping.rounds", hk_rounds),
+            ("core.sc.merges", sc_merges),
+            ("core.sc.merge_bytes", sc_merge_bytes),
+        ] {
+            if total == 0 {
+                fail(&format!(
+                    "write_ab figure: {name} never fired across labels"
+                ));
+            }
+        }
+    }
+    // Write figures must carry put-tail measurements, not just snapshots.
+    if fig.contains("write") {
+        let measurements = doc
+            .get("measurements")
+            .and_then(Json::as_obj)
+            .unwrap_or_else(|| fail("write figure: missing top-level \"measurements\" object"));
+        if measurements.is_empty() {
+            fail("write figure: \"measurements\" is empty");
+        }
+        for (label, m) in measurements {
+            let p99 = m
+                .get("put_p99_ns")
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| fail(&format!("{label}: measurement missing put_p99_ns")));
+            if p99 == 0 {
+                fail(&format!("{label}: put_p99_ns is zero"));
             }
         }
     }

@@ -163,6 +163,7 @@ impl Instance {
 pub struct MetricsSink {
     fig: String,
     systems: Vec<(String, Json)>,
+    measurements: Vec<(String, Json)>,
 }
 
 impl MetricsSink {
@@ -170,6 +171,7 @@ impl MetricsSink {
         MetricsSink {
             fig: fig.to_string(),
             systems: Vec::new(),
+            measurements: Vec::new(),
         }
     }
 
@@ -185,6 +187,20 @@ impl MetricsSink {
         self.record_json(label, &inst.snapshot_json());
     }
 
+    /// Record a throughput + put-latency measurement under `label`, so the
+    /// artifact carries the tail (p50/p99), not just the mean implied by
+    /// throughput. Written as a top-level `"measurements"` object.
+    pub fn record_measurement(&mut self, label: &str, kops: f64, p50_ns: u64, p99_ns: u64) {
+        self.measurements.push((
+            label.to_string(),
+            Json::obj(vec![
+                ("kops", Json::Num(kops)),
+                ("put_p50_ns", Json::UInt(p50_ns)),
+                ("put_p99_ns", Json::UInt(p99_ns)),
+            ]),
+        ));
+    }
+
     /// Record a pre-rendered snapshot document under `label`.
     pub fn record_json(&mut self, label: &str, json: &str) {
         let doc = Json::parse(json).unwrap_or_else(|e| panic!("bad snapshot for {label}: {e}"));
@@ -198,11 +214,19 @@ impl MetricsSink {
         for (label, doc) in &self.systems {
             systems.insert(label.clone(), doc.clone());
         }
-        let doc = Json::obj(vec![
+        let mut fields = vec![
             ("figure", Json::Str(self.fig.clone())),
             ("labels", Json::UInt(self.systems.len() as u64)),
             ("systems", Json::Obj(systems)),
-        ]);
+        ];
+        if !self.measurements.is_empty() {
+            let mut measurements = std::collections::BTreeMap::new();
+            for (label, doc) in &self.measurements {
+                measurements.insert(label.clone(), doc.clone());
+            }
+            fields.push(("measurements", Json::Obj(measurements)));
+        }
+        let doc = Json::obj(fields);
         let dir = Self::dir();
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("metrics sink: cannot create {}: {e}", dir.display());

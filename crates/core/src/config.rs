@@ -62,6 +62,24 @@ pub struct CacheKvConfig {
     /// Misses on the free-sub-MemTable pool before elasticity halves a free
     /// sub-MemTable (Section III-A, Elasticity).
     pub miss_threshold: u64,
+    /// Housekeeping worker pool size: threads draining the scheduler queue
+    /// and running per-segment SC merges in parallel.
+    pub housekeeping_threads: usize,
+    /// Bound of the housekeeping job queue. Full queue = backpressure on
+    /// background submitters (counted), dropped reader nudges (counted) —
+    /// never an inline merge.
+    pub housekeeping_queue_cap: usize,
+    /// Target entries per global-index segment: merges split output above
+    /// it and absorb neighbours below half of it.
+    pub sc_segment_target_entries: usize,
+    /// Fold every segment on every SC round (the monolithic-compaction
+    /// baseline, kept for A/B benchmarking — `false` for the real system).
+    pub sc_full_fold: bool,
+    /// Stall writers at a seal once flushed-but-undumped bytes exceed this
+    /// watermark, until a dump catches up (0 disables). The only sanctioned
+    /// way housekeeping may slow a put, surfaced as
+    /// `core.housekeeping.put_stalls` / `.put_stall_ns`.
+    pub hk_backpressure_bytes: u64,
     /// Technique ablation switches.
     pub techniques: Techniques,
     /// The LSM storage component below.
@@ -87,6 +105,11 @@ impl Default for CacheKvConfig {
             sync_every: 64,
             dump_threshold_bytes: 24 << 20,
             miss_threshold: 4,
+            housekeeping_threads: 2,
+            housekeeping_queue_cap: 1024,
+            sc_segment_target_entries: 16 << 10,
+            sc_full_fold: false,
+            hk_backpressure_bytes: 96 << 20,
             techniques: Techniques::all(),
             storage: StorageConfig::default(),
         }
@@ -106,6 +129,11 @@ impl CacheKvConfig {
             sync_every: 16,
             dump_threshold_bytes: 192 << 10,
             miss_threshold: 2,
+            housekeeping_threads: 2,
+            housekeeping_queue_cap: 64,
+            sc_segment_target_entries: 512,
+            sc_full_fold: false,
+            hk_backpressure_bytes: 768 << 10,
             techniques: Techniques::all(),
             storage: StorageConfig::test_small(),
         }
@@ -133,6 +161,30 @@ impl CacheKvConfig {
     /// Builder-style override of the core count.
     pub fn with_cores(mut self, n: usize) -> Self {
         self.num_cores = n.max(1);
+        self
+    }
+
+    /// Builder-style override of the housekeeping worker count.
+    pub fn with_housekeeping_threads(mut self, n: usize) -> Self {
+        self.housekeeping_threads = n.max(1);
+        self
+    }
+
+    /// Builder-style override of the per-segment entry target.
+    pub fn with_segment_target(mut self, entries: usize) -> Self {
+        self.sc_segment_target_entries = entries.max(1);
+        self
+    }
+
+    /// Builder-style toggle of the monolithic full-fold baseline mode.
+    pub fn with_full_fold(mut self, on: bool) -> Self {
+        self.sc_full_fold = on;
+        self
+    }
+
+    /// Builder-style override of the write backpressure watermark.
+    pub fn with_backpressure_bytes(mut self, bytes: u64) -> Self {
+        self.hk_backpressure_bytes = bytes;
         self
     }
 }
@@ -163,10 +215,30 @@ mod tests {
         let c = CacheKvConfig::test_small()
             .with_pool(1 << 20, 128 << 10)
             .with_flush_threads(3)
-            .with_cores(2);
+            .with_cores(2)
+            .with_housekeeping_threads(4)
+            .with_segment_target(2048)
+            .with_full_fold(true)
+            .with_backpressure_bytes(0);
         assert_eq!(c.pool_bytes, 1 << 20);
         assert_eq!(c.subtable_bytes, 128 << 10);
         assert_eq!(c.flush_threads, 3);
         assert_eq!(c.num_cores, 2);
+        assert_eq!(c.housekeeping_threads, 4);
+        assert_eq!(c.sc_segment_target_entries, 2048);
+        assert!(c.sc_full_fold);
+        assert_eq!(c.hk_backpressure_bytes, 0);
+    }
+
+    #[test]
+    fn housekeeping_defaults_are_off_path() {
+        let c = CacheKvConfig::default();
+        assert!(c.housekeeping_threads >= 1);
+        assert!(c.housekeeping_queue_cap >= c.housekeeping_threads);
+        assert!(!c.sc_full_fold, "full fold is a benchmark baseline only");
+        assert!(
+            c.hk_backpressure_bytes > c.dump_threshold_bytes,
+            "watermark must sit above the dump threshold or puts stall before a dump can free anything"
+        );
     }
 }

@@ -1,6 +1,7 @@
-//! DRAM-resident indexes: per-sub-MemTable sub-skiplists with lazy
-//! synchronization (Section III-B) and the compacted global skiplist
-//! (Section III-D).
+//! DRAM-resident per-table indexes: sub-skiplists with lazy
+//! synchronization (Section III-B) and the fence/bloom [`ReadFilter`]s
+//! that gate probes. The compacted *global* index lives in
+//! [`crate::segment`] as an ordered set of range-partitioned segments.
 //!
 //! A sub-skiplist tracks a `list counter` and `list tail pointer`; syncing
 //! compares them with the sub-MemTable's packed header and replays the data
@@ -11,11 +12,9 @@
 use crate::subtable::SubTable;
 use cachekv_cache::Hierarchy;
 use cachekv_lsm::bloom::Bloom;
-use cachekv_lsm::kv::{decode_record_at, internal_cmp, Entry, RECORD_HDR};
+use cachekv_lsm::kv::{decode_record_at, Entry, RECORD_HDR};
 use cachekv_lsm::{DramSpace, SkipList};
 use parking_lot::RwLock;
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// What a [`ReadFilter`] says about probing a table for a key.
@@ -69,6 +68,18 @@ impl ReadFilter {
     /// The `[min, max]` fence.
     pub fn fences(&self) -> (&[u8], &[u8]) {
         (&self.min, &self.max)
+    }
+
+    /// FNV-1a digest of the encoded bloom bits: two filters over the same
+    /// key set hash identically — the recovery-determinism tests compare
+    /// these across independently rebuilt indexes.
+    pub fn bloom_fingerprint(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in self.bloom.encode() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        h
     }
 }
 
@@ -265,168 +276,6 @@ pub type IndexedEntry = (Vec<u8>, u64, u32);
 /// One compaction source: a table generation and its indexed entries.
 pub type TableEntries = (u64, Vec<IndexedEntry>);
 
-/// The compacted global skiplist: one entry per live key across the flushed
-/// tables, valued by `(generation, data offset)`.
-pub struct GlobalIndex {
-    list: SkipList<DramSpace>,
-    entries: usize,
-    /// Total key bytes stored — sizes the arena of the *next* merge round.
-    key_bytes: usize,
-    filter: Option<ReadFilter>,
-}
-
-/// One k-way-merge stream head: orders by [`internal_cmp`] (key ascending,
-/// newest version first), tie-broken by stream id for determinism.
-struct MergeHead {
-    key: Vec<u8>,
-    meta: u64,
-    gen: u64,
-    off: u32,
-    src: usize,
-}
-
-impl PartialEq for MergeHead {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for MergeHead {}
-impl PartialOrd for MergeHead {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for MergeHead {
-    fn cmp(&self, other: &Self) -> Ordering {
-        internal_cmp(&self.key, self.meta, &other.key, other.meta).then(self.src.cmp(&other.src))
-    }
-}
-
-impl GlobalIndex {
-    /// Merge `sources` (each `(gen, entries)` in internal order, newest data
-    /// included) plus an optional previous global index into a fresh,
-    /// deduplicated global skiplist — the sub-skiplist compaction of
-    /// Figure 9. Only the newest version of each key survives.
-    ///
-    /// Every input stream is already in internal order (sub-skiplists and
-    /// the previous global index iterate sorted), so a k-way heap merge
-    /// folds them in one pass: no global re-sort, and source keys are moved
-    /// — never cloned — into the new index.
-    pub fn compact(prev: Option<&GlobalIndex>, sources: Vec<TableEntries>) -> GlobalIndex {
-        // Arena budget: every input entry could survive (duplicates only
-        // leave slack).
-        let src_bytes: usize = sources
-            .iter()
-            .flat_map(|(_, es)| es.iter())
-            .map(|(k, ..)| k.len() + 48)
-            .sum();
-        let prev_bytes = prev.map_or(0, |p| p.key_bytes + p.entries * 48);
-        let mut list = SkipList::new(DramSpace::new(src_bytes + prev_bytes + 4096));
-
-        type Stream<'a> = Box<dyn Iterator<Item = (Vec<u8>, u64, u64, u32)> + 'a>;
-        let mut streams: Vec<Stream<'_>> = Vec::with_capacity(sources.len() + 1);
-        if let Some(p) = prev {
-            streams.push(Box::new(p.list.iter().map(|e| {
-                let gen = u64::from_le_bytes(e.value[0..8].try_into().unwrap());
-                let off = u32::from_le_bytes(e.value[8..12].try_into().unwrap());
-                (e.key, e.meta, gen, off)
-            })));
-        }
-        for (gen, entries) in sources {
-            streams.push(Box::new(
-                entries.into_iter().map(move |(k, m, off)| (k, m, gen, off)),
-            ));
-        }
-
-        let mut heap: BinaryHeap<Reverse<MergeHead>> = streams
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(src, s)| {
-                s.next().map(|(key, meta, gen, off)| {
-                    Reverse(MergeHead {
-                        key,
-                        meta,
-                        gen,
-                        off,
-                        src,
-                    })
-                })
-            })
-            .collect();
-
-        // Survivor keys are kept (moved, not cloned) for the bloom build.
-        let mut keys: Vec<Vec<u8>> = Vec::new();
-        let mut key_bytes = 0usize;
-        while let Some(Reverse(head)) = heap.pop() {
-            if let Some((key, meta, gen, off)) = streams[head.src].next() {
-                heap.push(Reverse(MergeHead {
-                    key,
-                    meta,
-                    gen,
-                    off,
-                    src: head.src,
-                }));
-            }
-            // Internal order yields the newest version of a key first; any
-            // repeat of the key just emitted is stale.
-            if keys.last().is_some_and(|k| *k == head.key) {
-                continue;
-            }
-            let mut v = [0u8; 12];
-            v[0..8].copy_from_slice(&head.gen.to_le_bytes());
-            v[8..12].copy_from_slice(&head.off.to_le_bytes());
-            list.insert(&head.key, head.meta, &v)
-                .expect("global skiplist arena sized from inputs");
-            key_bytes += head.key.len();
-            keys.push(head.key);
-        }
-        let entries = keys.len();
-        let filter = ReadFilter::from_sorted_keys(&keys);
-        GlobalIndex {
-            list,
-            entries,
-            key_bytes,
-            filter,
-        }
-    }
-
-    /// Fence + bloom pruning for reads; `None` when the index is empty.
-    pub fn filter(&self) -> Option<&ReadFilter> {
-        self.filter.as_ref()
-    }
-
-    /// Newest `(meta, gen, off)` for `key`.
-    pub fn get(&self, key: &[u8]) -> Option<(u64, u64, u32)> {
-        self.list.get_latest(key).map(|(meta, v)| {
-            let gen = u64::from_le_bytes(v[0..8].try_into().unwrap());
-            let off = u32::from_le_bytes(v[8..12].try_into().unwrap());
-            (meta, gen, off)
-        })
-    }
-
-    /// Live entries (for the L0 dump).
-    pub fn entries(&self) -> Vec<(Vec<u8>, u64, u64, u32)> {
-        self.list
-            .iter()
-            .map(|e| {
-                let gen = u64::from_le_bytes(e.value[0..8].try_into().unwrap());
-                let off = u32::from_le_bytes(e.value[8..12].try_into().unwrap());
-                (e.key, e.meta, gen, off)
-            })
-            .collect()
-    }
-
-    /// Number of live keys indexed.
-    pub fn len(&self) -> usize {
-        self.entries
-    }
-
-    /// True when the index holds no keys.
-    pub fn is_empty(&self) -> bool {
-        self.entries == 0
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,51 +359,6 @@ mod tests {
     }
 
     #[test]
-    fn global_compaction_drops_stale_versions() {
-        // Two "tables": gen 1 has old versions, gen 2 newer ones.
-        let older: Vec<(Vec<u8>, u64, u32)> = (0..10)
-            .map(|i| {
-                (
-                    format!("k{i:02}").into_bytes(),
-                    pack_meta(i + 1, EntryKind::Put),
-                    i as u32 * 32,
-                )
-            })
-            .collect();
-        let newer: Vec<(Vec<u8>, u64, u32)> = (0..5)
-            .map(|i| {
-                (
-                    format!("k{i:02}").into_bytes(),
-                    pack_meta(i + 100, EntryKind::Put),
-                    i as u32 * 32,
-                )
-            })
-            .collect();
-        let g = GlobalIndex::compact(None, vec![(1, older), (2, newer)]);
-        assert_eq!(g.len(), 10, "10 distinct keys survive");
-        let (meta, gen, _) = g.get(b"k03").unwrap();
-        assert_eq!(meta_seq(meta), 103);
-        assert_eq!(gen, 2, "newest version points at the newer table");
-        let (_, gen_old, _) = g.get(b"k07").unwrap();
-        assert_eq!(gen_old, 1, "unshadowed key still points at gen 1");
-    }
-
-    #[test]
-    fn incremental_compaction_folds_previous_global() {
-        let first: Vec<(Vec<u8>, u64, u32)> =
-            vec![(b"a".to_vec(), pack_meta(1, EntryKind::Put), 0)];
-        let g1 = GlobalIndex::compact(None, vec![(1, first)]);
-        let second: Vec<(Vec<u8>, u64, u32)> = vec![
-            (b"a".to_vec(), pack_meta(9, EntryKind::Put), 64),
-            (b"b".to_vec(), pack_meta(5, EntryKind::Put), 0),
-        ];
-        let g2 = GlobalIndex::compact(Some(&g1), vec![(2, second)]);
-        assert_eq!(g2.len(), 2);
-        assert_eq!(g2.get(b"a").unwrap().1, 2, "newer gen wins");
-        assert!(g2.get(b"b").is_some());
-    }
-
-    #[test]
     fn filter_fences_and_bloom_prune_absent_keys() {
         let st = subtable();
         let idx = SubIndex::for_data_capacity(st.data_capacity());
@@ -582,55 +386,14 @@ mod tests {
     }
 
     #[test]
-    fn compact_builds_global_filter() {
-        let src: Vec<(Vec<u8>, u64, u32)> = (0..50)
-            .map(|i| {
-                (
-                    format!("g{i:03}").into_bytes(),
-                    pack_meta(i + 1, EntryKind::Put),
-                    i as u32 * 32,
-                )
-            })
-            .collect();
-        let g = GlobalIndex::compact(None, vec![(1, src)]);
-        let f = g.filter().expect("non-empty global index");
-        assert_eq!(f.fences(), (b"g000".as_slice(), b"g049".as_slice()));
-        assert_eq!(f.check(b"g025"), FilterVerdict::Probe);
-        assert_eq!(f.check(b"h000"), FilterVerdict::FenceSkip);
-    }
-
-    #[test]
-    fn merge_compact_matches_multiway_inputs() {
-        // Three overlapping sources with interleaved versions: the k-way
-        // merge must keep exactly the newest version of each key.
-        let mk = |seqs: &[(u32, u64)]| -> Vec<(Vec<u8>, u64, u32)> {
-            let mut v: Vec<(Vec<u8>, u64, u32)> = seqs
-                .iter()
-                .map(|&(k, s)| {
-                    (
-                        format!("m{k:03}").into_bytes(),
-                        pack_meta(s, EntryKind::Put),
-                        k * 16,
-                    )
-                })
-                .collect();
-            v.sort_by(|a, b| internal_cmp(&a.0, a.1, &b.0, b.1));
-            v
-        };
-        let g1 = GlobalIndex::compact(None, vec![(1, mk(&[(0, 1), (1, 2), (2, 3)]))]);
-        let g2 = GlobalIndex::compact(
-            Some(&g1),
-            vec![
-                (2, mk(&[(1, 10), (3, 11)])),
-                (3, mk(&[(0, 20), (2, 21), (4, 22)])),
-            ],
-        );
-        assert_eq!(g2.len(), 5);
-        assert_eq!(meta_seq(g2.get(b"m000").unwrap().0), 20);
-        assert_eq!(meta_seq(g2.get(b"m001").unwrap().0), 10);
-        assert_eq!(meta_seq(g2.get(b"m002").unwrap().0), 21);
-        assert_eq!(g2.get(b"m003").unwrap().1, 2, "gen follows newest version");
-        assert_eq!(g2.get(b"m004").unwrap().1, 3);
+    fn bloom_fingerprints_are_stable_per_key_set() {
+        let keys: Vec<Vec<u8>> = (0..40).map(|i| format!("f{i:03}").into_bytes()).collect();
+        let a = ReadFilter::from_sorted_keys(&keys).unwrap();
+        let b = ReadFilter::from_sorted_keys(&keys).unwrap();
+        assert_eq!(a.bloom_fingerprint(), b.bloom_fingerprint());
+        let other: Vec<Vec<u8>> = (0..40).map(|i| format!("g{i:03}").into_bytes()).collect();
+        let c = ReadFilter::from_sorted_keys(&other).unwrap();
+        assert_ne!(a.bloom_fingerprint(), c.bloom_fingerprint());
     }
 
     #[test]

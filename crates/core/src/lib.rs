@@ -16,9 +16,9 @@
 //!   └──────────────────────────────────────────────────────┘  (lazy sync)
 //!      │ copy-based flush (non-temporal stream)
 //!      ▼
-//!   flushed sub-ImmMemTables in PMem  ←── global skiplist (compacted)
-//!      │ dump at threshold
-//!      ▼
+//!   flushed sub-ImmMemTables in PMem ←── partitioned global index
+//!      │ dump at threshold               (fence-bounded segments,
+//!      ▼                                  merged off-path in parallel)
 //!   LSM storage component (L0 partially sorted, L1+ leveled)
 //! ```
 //!
@@ -35,9 +35,12 @@
 //! * **Copy-based flush (CF)** — [`store`]: sealed tables are streamed to
 //!   PMem with non-temporal stores in one multi-MB copy, filling whole
 //!   XPLines instead of leaking random cachelines (paper R1).
-//! * **Sub-skiplist compaction (SC)** — [`index::GlobalIndex`]: flushed
-//!   tables' indexes merge into one global skiplist, dropping stale nodes
-//!   to bound read amplification.
+//! * **Sub-skiplist compaction (SC)** — [`segment::PartitionedIndex`] +
+//!   [`sched::Scheduler`]: flushed tables' indexes merge into a
+//!   range-partitioned global index (ordered fence-bounded segments),
+//!   dropping stale nodes to bound read amplification. Rounds only touch
+//!   overlapped segments, merges run in parallel on an off-path
+//!   housekeeping worker pool, and puts never compact inline.
 //!
 //! ## Example
 //!
@@ -63,6 +66,8 @@ pub mod flushlog;
 pub mod index;
 pub mod metrics;
 pub mod pool;
+pub mod sched;
+pub mod segment;
 pub mod store;
 pub mod subtable;
 

@@ -7,7 +7,9 @@
 
 use std::sync::Arc;
 
-use cachekv_obs::{Counter, Gauge, Histogram, PhaseSet, ReadPhaseSet, Registry, TimeSource};
+use cachekv_obs::{
+    Counter, Gauge, Histogram, HousekeepPhaseSet, PhaseSet, ReadPhaseSet, Registry, TimeSource,
+};
 
 /// Instruments for the memory component and its pipelines.
 pub struct StoreObs {
@@ -56,9 +58,46 @@ pub struct StoreObs {
     // Lazy index update.
     pub liu_syncs: Arc<Counter>,
 
+    // Housekeeping scheduler (the off-path worker pool).
+    /// Plan / merge / swap / dump decomposition of a housekeeping round.
+    pub hk_phases: HousekeepPhaseSet,
+    /// Jobs queued and not yet dequeued by a worker.
+    pub hk_queue_depth: Arc<Gauge>,
+    /// Background submitters that blocked on a full queue.
+    pub hk_stalls: Arc<Counter>,
+    /// Puts stalled at a seal by the flushed-bytes watermark.
+    pub hk_put_stalls: Arc<Counter>,
+    /// Total nanoseconds puts spent stalled at the watermark.
+    pub hk_put_stall_ns: Arc<Counter>,
+    /// Reader sync nudges dropped because the queue was full.
+    pub hk_sync_dropped: Arc<Counter>,
+    /// Sync jobs discarded because their sealed generation already rolled.
+    pub hk_sync_stale: Arc<Counter>,
+    /// Compaction merges executed from inside a put. The scheduler exists
+    /// so this never happens; it is the off-path regression tripwire,
+    /// asserted zero in tests and `validate_metrics`.
+    pub hk_inline_merges: Arc<Counter>,
+    /// Housekeeping rounds executed.
+    pub hk_rounds: Arc<Counter>,
+
     // Sub-skiplist compaction and L0 dumps.
     pub sc_merges: Arc<Counter>,
     pub sc_merge_ns: Arc<Histogram>,
+    /// One sample per segment merge task (the parallel unit of SC).
+    pub sc_segment_merge_ns: Arc<Histogram>,
+    /// Index bytes read by merges — against `core.sc.index_bytes`, the
+    /// incrementality claim: merge bytes track touched data, not the index.
+    pub sc_merge_bytes: Arc<Counter>,
+    /// Live segments in the partitioned global index.
+    pub sc_segments: Arc<Gauge>,
+    /// Approximate resident bytes of the partitioned global index.
+    pub sc_index_bytes: Arc<Gauge>,
+    /// Segments created beyond a merge's input count (splits).
+    pub sc_splits: Arc<Counter>,
+    /// Segments carried over untouched across SC rounds.
+    pub sc_segments_kept: Arc<Counter>,
+    /// Segments folded (rebuilt) by SC rounds.
+    pub sc_segments_merged: Arc<Counter>,
     pub l0_dumps: Arc<Counter>,
     pub l0_dump_entries: Arc<Counter>,
 
@@ -92,8 +131,24 @@ impl StoreObs {
             flush_ns: registry.histogram("core.flush_ns"),
             flush_queue_depth: registry.gauge("core.flush.queue_depth"),
             liu_syncs: registry.counter("core.liu.syncs"),
+            hk_phases: HousekeepPhaseSet::register(&registry, "core.housekeep", time_source),
+            hk_queue_depth: registry.gauge("core.housekeeping.queue_depth"),
+            hk_stalls: registry.counter("core.housekeeping.stalls"),
+            hk_put_stalls: registry.counter("core.housekeeping.put_stalls"),
+            hk_put_stall_ns: registry.counter("core.housekeeping.put_stall_ns"),
+            hk_sync_dropped: registry.counter("core.housekeeping.sync_dropped"),
+            hk_sync_stale: registry.counter("core.housekeeping.sync_stale"),
+            hk_inline_merges: registry.counter("core.housekeeping.inline_merges"),
+            hk_rounds: registry.counter("core.housekeeping.rounds"),
             sc_merges: registry.counter("core.sc.merges"),
             sc_merge_ns: registry.histogram("core.sc.merge_ns"),
+            sc_segment_merge_ns: registry.histogram("core.sc.segment_merge_ns"),
+            sc_merge_bytes: registry.counter("core.sc.merge_bytes"),
+            sc_segments: registry.gauge("core.sc.segments"),
+            sc_index_bytes: registry.gauge("core.sc.index_bytes"),
+            sc_splits: registry.counter("core.sc.splits"),
+            sc_segments_kept: registry.counter("core.sc.segments_kept"),
+            sc_segments_merged: registry.counter("core.sc.segments_merged"),
             l0_dumps: registry.counter("core.l0.dumps"),
             l0_dump_entries: registry.counter("core.l0.dump_entries"),
             recoveries: registry.counter("core.recoveries"),

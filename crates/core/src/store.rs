@@ -4,19 +4,20 @@
 use crate::config::CacheKvConfig;
 use crate::flushlog::FlushLog;
 use crate::index::{
-    read_record, try_read_record, FilterVerdict, FlushedTable, GlobalIndex, SubIndex, TableEntries,
+    read_record, try_read_record, FilterVerdict, FlushedTable, SubIndex, TableEntries,
 };
 use crate::metrics::StoreObs;
 use crate::pool::Pool;
+use crate::sched::{Job, Scheduler};
+use crate::segment::{GlobalProbe, MergeTask, PartitionedIndex, Segment};
 use crate::subtable::{Append, SlotState, SubTable, DATA_OFF};
 use cachekv_cache::Hierarchy;
 use cachekv_lsm::kv::{
-    decode_record_at, meta_kind, meta_seq, pack_meta, record_len, Entry, EntryKind, Error, KvStore,
-    Result,
+    decode_record_at, meta_kind, meta_seq, pack_meta, record_len, EntryKind, Error, KvStore, Result,
 };
 use cachekv_lsm::tree::PmemLayout;
 use cachekv_lsm::StorageComponent;
-use cachekv_obs::{Phase, ReadPhase, StatsSnapshot, TimeSource};
+use cachekv_obs::{HousekeepPhase, Phase, ReadPhase, StatsSnapshot, TimeSource};
 use cachekv_storage::PmemAllocator;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -48,10 +49,10 @@ struct ActiveView {
 struct MemIndexes {
     /// Sealed sub-ImmMemTables still in the cache, awaiting flush.
     sealing: Vec<(SubTable, Arc<SubIndex>)>,
-    /// Copy-flushed tables not yet folded into the global skiplist.
+    /// Copy-flushed tables not yet folded into the global index.
     flushed: Vec<FlushedTable>,
-    /// The compacted global skiplist.
-    global: Option<GlobalIndex>,
+    /// The compacted global index: ordered, range-partitioned segments.
+    global: PartitionedIndex,
     /// gen → (region base, len) for every live flushed table.
     gen_regions: HashMap<u64, (u64, u64)>,
     /// Total flushed bytes (drives the L0 dump threshold).
@@ -63,10 +64,14 @@ enum FlushMsg {
     Stop,
 }
 
-enum MaintMsg {
-    SyncCore(usize),
-    Housekeep,
-    Stop,
+/// Per-core LIU-nudge dedupe state. `epoch` counts sealed generations
+/// (bumped on every view publish); `pending` latches one outstanding sync
+/// job per core per epoch; `req_tail` is the reader-side table-tail
+/// watermark within the epoch.
+struct CoreSync {
+    epoch: AtomicU64,
+    pending: AtomicBool,
+    req_tail: AtomicU64,
 }
 
 struct Shared {
@@ -81,10 +86,51 @@ struct Shared {
     pending_flushes: Mutex<usize>,
     flush_idle: Condvar,
     stop: AtomicBool,
-    maint_tx: Sender<MaintMsg>,
+    /// The off-path housekeeping scheduler (bounded queue + worker pool).
+    sched: Scheduler,
+    /// Per-core sync-nudge dedupe (one queued sync per sealed generation).
+    core_sync: Vec<CoreSync>,
+    /// Lock-free mirror of `MemIndexes::flushed_bytes` for the write-path
+    /// backpressure gate (the canonical value stays under `mem`).
+    flushed_total: AtomicU64,
+    /// Stalled writers wait here for a housekeeping round to finish.
+    dump_mutex: Mutex<()>,
+    dump_done: Condvar,
     /// Serializes housekeeping (compaction + dump) across callers.
     housekeep_lock: Mutex<()>,
     obs: StoreObs,
+}
+
+impl Shared {
+    /// Request a background LIU sync for `core`, deduped per sealed
+    /// generation: at most one queued sync job per core per epoch. Never
+    /// blocks; on a full queue the latch is released so a later caller
+    /// retries.
+    fn nudge_sync(&self, core: usize) {
+        let cs = &self.core_sync[core];
+        let epoch = cs.epoch.load(Ordering::Acquire);
+        if cs
+            .pending
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+            && !self.sched.submit_sync(core, epoch)
+        {
+            cs.pending.store(false, Ordering::Release);
+        }
+    }
+
+    /// The effective write-stall watermark: the configured bytes, floored
+    /// at twice the dump threshold so a stall can always be relieved by a
+    /// dump (0 = disabled).
+    fn backpressure_limit(&self) -> u64 {
+        if self.cfg.hk_backpressure_bytes == 0 {
+            0
+        } else {
+            self.cfg
+                .hk_backpressure_bytes
+                .max(2 * self.cfg.dump_threshold_bytes)
+        }
+    }
 }
 
 /// CacheKV (Section III). See the crate docs for the architecture.
@@ -98,10 +144,6 @@ pub struct CacheKv {
     /// Bit `i` set ⇒ core `i` (i < 64) has a published view: readers skip
     /// empty cores with one load. Cores ≥ 64 are always probed.
     active_mask: AtomicU64,
-    /// Per-core table tail up to which a reader already requested a
-    /// background LIU sync — dedupes the reader-side sync nudges so a
-    /// lagging index costs one maintenance message, not one per get.
-    sync_req: Vec<AtomicU64>,
     flush_tx: Sender<FlushMsg>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     next_core: AtomicUsize,
@@ -116,6 +158,12 @@ thread_local! {
     /// Whether this thread is inside `get` — the tripwire for the read
     /// path's lock-freedom (see `lock_core`).
     static IN_READ: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Whether this thread is inside a put — the tripwire for the write
+    /// path's off-path compaction (see `run_merge_tasks`).
+    static IN_PUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Per-thread scratch for the read path's unindexed-suffix decode-scan,
+    /// so a lagging index costs a buffer reuse, not an allocation per get.
+    static READ_SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 static STORE_IDS: AtomicU64 = AtomicU64::new(1);
@@ -155,7 +203,7 @@ impl CacheKv {
             MemIndexes {
                 sealing: Vec::new(),
                 flushed: Vec::new(),
-                global: None,
+                global: PartitionedIndex::new(),
                 gen_regions: HashMap::new(),
                 flushed_bytes: 0,
             },
@@ -213,7 +261,7 @@ impl CacheKv {
         let mut mem = MemIndexes {
             sealing: Vec::new(),
             flushed: Vec::new(),
-            global: None,
+            global: PartitionedIndex::new(),
             gen_regions: HashMap::new(),
             flushed_bytes: 0,
         };
@@ -289,8 +337,21 @@ impl CacheKv {
         mem: MemIndexes,
         next_gen: u64,
     ) -> Self {
-        let (maint_tx, maint_rx) = unbounded::<MaintMsg>();
         let obs = StoreObs::new(TimeSource::for_mode(hier.device().clock().mode()));
+        let sched = Scheduler::new(
+            cfg.housekeeping_queue_cap,
+            obs.hk_queue_depth.clone(),
+            obs.hk_stalls.clone(),
+            obs.hk_sync_dropped.clone(),
+        );
+        let core_sync = (0..cfg.num_cores)
+            .map(|_| CoreSync {
+                epoch: AtomicU64::new(0),
+                pending: AtomicBool::new(false),
+                req_tail: AtomicU64::new(0),
+            })
+            .collect();
+        let flushed_total = AtomicU64::new(mem.flushed_bytes);
         let shared = Arc::new(Shared {
             hier,
             alloc,
@@ -302,7 +363,11 @@ impl CacheKv {
             pending_flushes: Mutex::new(0),
             flush_idle: Condvar::new(),
             stop: AtomicBool::new(false),
-            maint_tx: maint_tx.clone(),
+            sched,
+            core_sync,
+            flushed_total,
+            dump_mutex: Mutex::new(()),
+            dump_done: Condvar::new(),
             housekeep_lock: Mutex::new(()),
             obs,
             cfg,
@@ -319,9 +384,6 @@ impl CacheKv {
             .collect();
         let publish = (0..shared.cfg.num_cores)
             .map(|_| RwLock::new(None))
-            .collect();
-        let sync_req = (0..shared.cfg.num_cores)
-            .map(|_| AtomicU64::new(0))
             .collect();
         let (flush_tx, flush_rx) = unbounded::<FlushMsg>();
         let mut threads = Vec::new();
@@ -340,7 +402,6 @@ impl CacheKv {
             cores,
             publish,
             active_mask: AtomicU64::new(0),
-            sync_req,
             flush_tx,
             threads: Mutex::new(threads),
             next_core: AtomicUsize::new(0),
@@ -354,12 +415,19 @@ impl CacheKv {
                 })
                 .collect(),
         );
-        kv.threads.lock().push(
-            std::thread::Builder::new()
-                .name("cachekv-maint".into())
-                .spawn(move || maint_loop(&shared, &maint_rx, &core_refs))
-                .expect("spawn maintenance thread"),
-        );
+        let mut threads = kv.threads.lock();
+        for i in 0..shared.cfg.housekeeping_threads.max(1) {
+            let s = shared.clone();
+            let rx = s.sched.receiver();
+            let cores = core_refs.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cachekv-hk-{i}"))
+                    .spawn(move || housekeeping_loop(&s, &rx, &cores))
+                    .expect("spawn housekeeping thread"),
+            );
+        }
+        drop(threads);
         kv
     }
 
@@ -381,10 +449,15 @@ impl CacheKv {
     /// view always mirrors `CoreSlot::st`.
     fn publish_view(&self, core: usize, view: Option<ActiveView>) {
         let present = view.is_some();
-        // New table, new tail space: reset the reader-side sync-request
-        // watermark so nudges for the fresh table aren't suppressed by the
-        // previous table's (larger) tail.
-        self.sync_req[core].store(0, Ordering::Relaxed);
+        // New sealed generation: roll the sync epoch so queued sync jobs
+        // for the previous table are recognized as stale, clear the pending
+        // latch, and reset the reader-side sync-request watermark so nudges
+        // for the fresh table aren't suppressed by the previous table's
+        // (larger) tail.
+        let cs = &self.shared.core_sync[core];
+        cs.epoch.fetch_add(1, Ordering::Release);
+        cs.pending.store(false, Ordering::Release);
+        cs.req_tail.store(0, Ordering::Relaxed);
         *self.publish[core].write() = view;
         if core < 64 {
             let bit = 1u64 << core;
@@ -475,10 +548,44 @@ impl CacheKv {
             EntryKind::Delete => obs.deletes.inc(),
         }
         let op = obs.time_source.begin();
+        IN_PUT.with(|c| c.set(true));
         let out = self.write_inner(key, value, kind);
+        IN_PUT.with(|c| c.set(false));
         obs.write_ns.record(op.elapsed_ns());
         obs.put_phases.op();
         out
+    }
+
+    /// The write-path backpressure gate: when flushed bytes sit above the
+    /// watermark, block *before* taking the core lock (never under it — a
+    /// housekeeping worker may need that lock for a sync job) until a
+    /// housekeeping round drains the backlog. Explicit and observable:
+    /// `core.housekeeping.put_stalls` / `.put_stall_ns` count every stall.
+    fn backpressure_gate(&self) {
+        let s = &self.shared;
+        let limit = s.backpressure_limit();
+        if limit == 0 || s.flushed_total.load(Ordering::Relaxed) <= limit {
+            return;
+        }
+        s.obs.hk_put_stalls.inc();
+        let t0 = std::time::Instant::now();
+        let mut guard = s.dump_mutex.lock();
+        while s.flushed_total.load(Ordering::Relaxed) > limit
+            && !s.stop.load(Ordering::Relaxed)
+            && !s.hier.fault_tripped()
+        {
+            s.sched.submit_round();
+            if s.dump_done
+                .wait_for(&mut guard, std::time::Duration::from_millis(10))
+                .timed_out()
+            {
+                continue;
+            }
+        }
+        drop(guard);
+        s.obs
+            .hk_put_stall_ns
+            .add((t0.elapsed().as_nanos() as u64).max(1));
     }
 
     /// The write path, decomposed into the paper's Figure 5 phases: lock
@@ -486,6 +593,7 @@ impl CacheKv {
     fn write_inner(&self, key: &[u8], value: &[u8], kind: EntryKind) -> Result<()> {
         let obs = &self.shared.obs;
         let src = obs.time_source;
+        self.backpressure_gate();
         let core = self.core_id();
         let t = src.begin();
         let mut cs = self.lock_core(core);
@@ -518,7 +626,7 @@ impl CacheKv {
                         cs.writes_since_sync += 1;
                         if cs.writes_since_sync >= self.shared.cfg.sync_every {
                             cs.writes_since_sync = 0;
-                            let _ = self.shared.maint_tx.send(MaintMsg::SyncCore(core));
+                            self.shared.nudge_sync(core);
                         }
                     } else {
                         cs.index.insert_direct(
@@ -574,9 +682,28 @@ impl CacheKv {
         (
             m.sealing.len(),
             m.flushed.len(),
-            m.global.as_ref().map_or(0, |g| g.len()),
+            m.global.len(),
             m.flushed_bytes,
         )
+    }
+
+    /// Fence and size of every live global-index segment, plus each
+    /// segment's bloom fingerprint: `(min, max, entries, fingerprint)`.
+    /// Test accessor — used to prove recovery rebuilds identical segments.
+    pub fn segment_fences(&self) -> Vec<(Vec<u8>, Vec<u8>, usize, u64)> {
+        let m = self.shared.mem.read();
+        m.global
+            .segments()
+            .iter()
+            .map(|seg| {
+                (
+                    seg.min().to_vec(),
+                    seg.max().to_vec(),
+                    seg.len(),
+                    seg.filter().bloom_fingerprint(),
+                )
+            })
+            .collect()
     }
 
     /// Cross-layer metrics snapshot: device and cache counters, the memory
@@ -606,10 +733,8 @@ impl CacheKv {
             let m = s.mem.read();
             memory.insert_gauge("core.mem.sealing_tables", m.sealing.len() as i64);
             memory.insert_gauge("core.mem.flushed_tables", m.flushed.len() as i64);
-            memory.insert_gauge(
-                "core.mem.global_keys",
-                m.global.as_ref().map_or(0, |g| g.len()) as i64,
-            );
+            memory.insert_gauge("core.mem.global_keys", m.global.len() as i64);
+            memory.insert_gauge("core.mem.global_segments", m.global.segments().len() as i64);
             memory.insert_gauge("core.mem.flushed_bytes", m.flushed_bytes as i64);
         }
         StatsSnapshot {
@@ -636,7 +761,7 @@ impl KvStore for CacheKv {
         obs.gets.inc();
         let op = obs.time_source.begin();
         IN_READ.with(|c| c.set(true));
-        let out = self.get_inner(key);
+        let out = READ_SCRATCH.with(|buf| self.get_inner(key, &mut buf.borrow_mut()));
         IN_READ.with(|c| c.set(false));
         obs.get_ns.record(op.elapsed_ns());
         obs.get_phases.op();
@@ -662,7 +787,7 @@ impl KvStore for CacheKv {
             }
         }
         // One synchronous housekeeping round (compaction + possible dump).
-        housekeep(&self.shared);
+        housekeep_round(&self.shared);
         self.shared.storage.wait_idle();
     }
 
@@ -677,7 +802,7 @@ impl CacheKv {
     /// and the global skiplist (fence/bloom gated) under the `mem` read
     /// lock, then the LSM — unless an in-memory hit already dominates every
     /// persisted sequence number.
-    fn get_inner(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get_inner(&self, key: &[u8], scratch: &mut Vec<u8>) -> Result<Option<Vec<u8>>> {
         let s = &self.shared;
         let obs = &s.obs;
         let src = obs.time_source;
@@ -713,23 +838,23 @@ impl CacheKv {
             // recycled mid-probe and any hit is valid as-is. Writers never
             // wait on this guard on the hot path — only the (rare) seal
             // rollover takes the write side.
-            let (hit, lag_tail) = probe_table(s, &view.st, &view.index, key);
+            let (hit, lag_tail) = probe_table(s, &view.st, &view.index, key, scratch);
             drop(guard);
             if let Some((meta, value)) = hit {
                 consider(meta, value, &mut best);
             }
             // Sync-on-read, asynchronously: a lagging index makes every
-            // reader re-decode the suffix, so nudge the maintenance thread
+            // reader re-decode the suffix, so nudge a housekeeping worker
             // to index it — once per observed tail, not once per get.
             if lag_tail > 0 {
-                let req = &self.sync_req[core];
+                let req = &s.core_sync[core].req_tail;
                 let prev = req.load(Ordering::Relaxed);
                 if lag_tail > prev
                     && req
                         .compare_exchange(prev, lag_tail, Ordering::Relaxed, Ordering::Relaxed)
                         .is_ok()
                 {
-                    let _ = s.maint_tx.send(MaintMsg::SyncCore(core));
+                    s.nudge_sync(core);
                 }
             }
         }
@@ -744,7 +869,7 @@ impl CacheKv {
                 // read-only suffix scan covers the gap — a miss never pays
                 // a sync.
                 obs.read_probes.inc();
-                if let (Some((meta, value)), _) = probe_table(s, st, index, key) {
+                if let (Some((meta, value)), _) = probe_table(s, st, index, key, scratch) {
                     consider(meta, value, &mut best);
                 }
             }
@@ -774,23 +899,21 @@ impl CacheKv {
                 }
             }
             obs.get_phases.record(ReadPhase::ImmProbe, sw.lap());
-            if let Some(g) = &m.global {
-                match g.filter().map_or(FilterVerdict::Probe, |f| f.check(key)) {
-                    FilterVerdict::FenceSkip => obs.read_fence_skips.inc(),
-                    FilterVerdict::BloomSkip => obs.read_bloom_skips.inc(),
-                    FilterVerdict::Probe => {
-                        obs.read_probes.inc();
-                        if let Some((meta, gen, off)) = g.get(key) {
-                            let value = match meta_kind(meta) {
-                                EntryKind::Delete => None,
-                                EntryKind::Put => {
-                                    let (base, _) = m.gen_regions[&gen];
-                                    Some(read_record(&s.hier, base, off as u64).value)
-                                }
-                            };
-                            consider(meta, value, &mut best);
+            match m.global.probe(key) {
+                GlobalProbe::Empty => {}
+                GlobalProbe::FenceSkip => obs.read_fence_skips.inc(),
+                GlobalProbe::BloomSkip => obs.read_bloom_skips.inc(),
+                GlobalProbe::Miss => obs.read_probes.inc(),
+                GlobalProbe::Hit(meta, gen, off) => {
+                    obs.read_probes.inc();
+                    let value = match meta_kind(meta) {
+                        EntryKind::Delete => None,
+                        EntryKind::Put => {
+                            let (base, _) = m.gen_regions[&gen];
+                            Some(read_record(&s.hier, base, off as u64).value)
                         }
-                    }
+                    };
+                    consider(meta, value, &mut best);
                 }
             }
             obs.get_phases.record(ReadPhase::GlobalProbe, sw.lap());
@@ -828,7 +951,13 @@ type Candidate = Option<(u64, Option<Vec<u8>>)>;
 /// duration. The second return is the table tail when the index was
 /// observed lagging (0 when fully synced) so the caller can request a
 /// background sync.
-fn probe_table(s: &Shared, st: &SubTable, index: &SubIndex, key: &[u8]) -> (Candidate, u64) {
+fn probe_table(
+    s: &Shared,
+    st: &SubTable,
+    index: &SubIndex,
+    key: &[u8],
+    scratch: &mut Vec<u8>,
+) -> (Candidate, u64) {
     let mut best: Candidate = None;
     // Read the list tail before the table tail: the index may advance
     // concurrently (background LIU sync), which only widens overlap with
@@ -850,9 +979,13 @@ fn probe_table(s: &Shared, st: &SubTable, index: &SubIndex, key: &[u8]) -> (Cand
     let mut lag_tail = 0;
     if synced_tail < tail {
         lag_tail = tail;
-        let raw = st.read_data(synced_tail, (tail - synced_tail) as usize);
+        // Reuse the caller's scratch buffer: the suffix scan is the hot
+        // read path under LIU lag, and a per-get allocation here shows up
+        // directly in get latency.
+        st.read_data_into(synced_tail, (tail - synced_tail) as usize, scratch);
+        let raw: &[u8] = scratch;
         let mut pos = 0usize;
-        while let Some((e, next)) = decode_record_at(&raw, pos) {
+        while let Some((e, next)) = decode_record_at(raw, pos) {
             if e.key == key && best.as_ref().is_none_or(|(m, _)| e.meta > *m) {
                 let value = match meta_kind(e.meta) {
                     EntryKind::Delete => None,
@@ -869,10 +1002,17 @@ fn probe_table(s: &Shared, st: &SubTable, index: &SubIndex, key: &[u8]) -> (Cand
 impl Drop for CacheKv {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake any writer parked at the backpressure gate before joining.
+        {
+            let _g = self.shared.dump_mutex.lock();
+            self.shared.dump_done.notify_all();
+        }
         for _ in 0..self.shared.cfg.flush_threads {
             let _ = self.flush_tx.send(FlushMsg::Stop);
         }
-        let _ = self.shared.maint_tx.send(MaintMsg::Stop);
+        self.shared
+            .sched
+            .stop(self.shared.cfg.housekeeping_threads.max(1));
         for t in self.threads.lock().drain(..) {
             let _ = t.join();
         }
@@ -912,7 +1052,7 @@ fn flush_loop(s: &Arc<Shared>, rx: &Receiver<FlushMsg>) {
                 if *pending == 0 {
                     s.flush_idle.notify_all();
                 }
-                let _ = s.maint_tx.send(MaintMsg::Housekeep);
+                s.sched.submit_round();
             }
         }
     }
@@ -941,6 +1081,7 @@ fn flush_one(s: &Arc<Shared>, st: SubTable, index: Arc<SubIndex>) {
         s.flushlog.log_flushed(gen, base, len);
         m.gen_regions.insert(gen, (base, len));
         m.flushed_bytes += len;
+        s.flushed_total.fetch_add(len, Ordering::Relaxed);
         m.flushed.push(FlushedTable {
             gen,
             base,
@@ -963,36 +1104,58 @@ fn flush_one(s: &Arc<Shared>, st: SubTable, index: Arc<SubIndex>) {
     s.pool.release(&st);
 }
 
-fn maint_loop(s: &Arc<Shared>, rx: &Receiver<MaintMsg>, cores: &Arc<Vec<CoreRef>>) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            MaintMsg::Stop => return,
-            MaintMsg::SyncCore(core) => {
-                // Lazy index update (strategy 2): bring the core's
-                // sub-skiplist up to date in the background.
-                if core < cores.len() {
-                    cores[core].with(|m| {
-                        let cs = m.lock();
-                        if let Some(st) = &cs.st {
-                            cs.index.sync(st);
-                            s.obs.liu_syncs.inc();
-                        }
-                    });
-                }
+fn housekeeping_loop(s: &Arc<Shared>, rx: &Receiver<Job>, cores: &Arc<Vec<CoreRef>>) {
+    // Exit only on `Job::Stop` (or disconnect), never on the `stop` flag:
+    // `Scheduler::stop` blocking-sends one Stop per worker, and a worker
+    // bailing early would leave a sibling's Stop undrained.
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Stop => return,
+            Job::SyncCore { core, epoch } => {
+                s.sched.note_dequeue();
+                sync_core(s, cores, core, epoch);
             }
-            MaintMsg::Housekeep => housekeep(s),
-        }
-        if s.stop.load(Ordering::SeqCst) {
-            return;
+            Job::Round => {
+                s.sched.note_dequeue();
+                // Clear the dedup latch *before* the round runs so a
+                // submit landing mid-round enqueues a fresh one (no lost
+                // wakeups).
+                s.sched.take_round();
+                housekeep_round(s);
+            }
         }
     }
 }
 
-/// Background compaction of sub-skiplists into the global skiplist, plus
-/// the L0 dump once enough flushed bytes accumulate (Section III-D).
-/// Serialized by `housekeep_lock`; heavy work happens under *read* locks so
-/// front-end reads and flushes proceed concurrently.
-fn housekeep(s: &Arc<Shared>) {
+/// Lazy index update (strategy 2): bring one core's sub-skiplist up to
+/// date in the background. Stale jobs (the table already sealed — the
+/// flusher does a final sync regardless) are dropped, and a busy core lock
+/// is never contended: the job is abandoned and the nudge latch reopened.
+fn sync_core(s: &Arc<Shared>, cores: &Arc<Vec<CoreRef>>, core: usize, epoch: u64) {
+    if core >= cores.len() {
+        return;
+    }
+    let latch = &s.core_sync[core];
+    if latch.epoch.load(Ordering::Acquire) != epoch {
+        s.obs.hk_sync_stale.inc();
+        return;
+    }
+    cores[core].with(|m| {
+        if let Some(cs) = m.try_lock() {
+            if let Some(st) = &cs.st {
+                cs.index.sync(st);
+                s.obs.liu_syncs.inc();
+            }
+        }
+    });
+    latch.pending.store(false, Ordering::Release);
+}
+
+/// One housekeeping round: sub-skiplist compaction into the partitioned
+/// global index, then the L0 dump once enough flushed bytes accumulate
+/// (Section III-D). Serialized by `housekeep_lock`; heavy work happens
+/// under *read* locks so front-end reads and flushes proceed concurrently.
+fn housekeep_round(s: &Arc<Shared>) {
     let _serial = s.housekeep_lock.lock();
     // After a simulated power failure the device blackholes writes, so
     // copy-flushed regions may hold garbage; a real powered-off machine
@@ -1000,81 +1163,181 @@ fn housekeep(s: &Arc<Shared>) {
     if s.hier.fault_tripped() {
         return;
     }
-
-    // Phase 1: sub-skiplist compaction into the global skiplist.
+    s.obs.hk_rounds.inc();
+    s.obs.hk_phases.op();
     if s.cfg.techniques.compaction {
-        let t = s.obs.time_source.begin();
-        let (merged_gens, new_global) = {
-            let m = s.mem.read();
-            if m.flushed.is_empty() {
-                (Vec::new(), None)
-            } else {
-                let merged_gens: Vec<u64> = m.flushed.iter().map(|ft| ft.gen).collect();
-                let sources: Vec<TableEntries> = m
-                    .flushed
-                    .iter()
-                    .map(|ft| (ft.gen, ft.index.entries()))
-                    .collect();
-                let g = GlobalIndex::compact(m.global.as_ref(), sources);
-                (merged_gens, Some(g))
-            }
-        };
-        if let Some(g) = new_global {
-            let mut m = s.mem.write();
-            // Tables flushed after the snapshot stay pending for next round.
-            m.flushed.retain(|ft| !merged_gens.contains(&ft.gen));
-            m.global = Some(g);
-            drop(m);
-            s.obs.sc_merges.inc();
-            s.obs.sc_merge_ns.record(t.elapsed_ns());
-        }
+        sc_round(s);
     }
+    dump_if_due(s);
+    // Writers parked at the backpressure gate re-check after every round.
+    let _g = s.dump_mutex.lock();
+    s.dump_done.notify_all();
+}
 
-    // Phase 2: L0 dump once the flushed set outgrows its threshold.
+/// One SC round: plan against the partitioned index, run each per-run
+/// merge (in parallel when several runs are dirty), swap in the
+/// reassembled index. Readers keep probing the old segment `Arc`s they
+/// already hold throughout — the swap replaces the vector, not the data.
+fn sc_round(s: &Arc<Shared>) {
+    let src = s.obs.time_source;
+    let round = src.begin();
+    let mut sw = src.begin();
+    let (merged_gens, plan) = {
+        let m = s.mem.read();
+        if m.flushed.is_empty() {
+            return;
+        }
+        let merged_gens: Vec<u64> = m.flushed.iter().map(|ft| ft.gen).collect();
+        let sources: Vec<TableEntries> = m
+            .flushed
+            .iter()
+            .map(|ft| (ft.gen, ft.index.entries()))
+            .collect();
+        let plan = m
+            .global
+            .plan(sources, s.cfg.sc_segment_target_entries, s.cfg.sc_full_fold);
+        (merged_gens, plan)
+    };
+    s.obs.hk_phases.record(HousekeepPhase::Plan, sw.lap());
+    let (tasks, kept) = plan.into_parts();
+    s.obs.sc_segments_kept.add(kept.len() as u64);
+    let outputs = run_merge_tasks(s, tasks);
+    s.obs.hk_phases.record(HousekeepPhase::Merge, sw.lap());
+    let new_global = PartitionedIndex::assemble(kept, outputs);
+    {
+        let mut m = s.mem.write();
+        // Tables flushed after the snapshot stay pending for next round.
+        m.flushed.retain(|ft| !merged_gens.contains(&ft.gen));
+        s.obs.sc_segments.set(new_global.segments().len() as i64);
+        s.obs.sc_index_bytes.set(new_global.approx_bytes() as i64);
+        m.global = new_global;
+    }
+    s.obs.hk_phases.record(HousekeepPhase::Swap, sw.lap());
+    s.obs.sc_merges.inc();
+    s.obs.sc_merge_ns.record(round.elapsed_ns().max(1));
+}
+
+/// Execute a plan's merge tasks — the parallel unit of SC. When several
+/// runs are dirty the tasks fan out over `housekeeping_threads` scoped
+/// workers (tasks share nothing by construction). Never called from a put:
+/// the `IN_PUT` tripwire counts (and debug-asserts against) any inline
+/// execution.
+fn run_merge_tasks(s: &Arc<Shared>, tasks: Vec<MergeTask>) -> Vec<(usize, Vec<Arc<Segment>>)> {
+    if IN_PUT.with(|c| c.get()) {
+        s.obs.hk_inline_merges.inc();
+        debug_assert!(false, "puts must never run compaction merges inline");
+    }
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let target = s.cfg.sc_segment_target_entries;
+    let run_one = |t: MergeTask| {
+        let sw = s.obs.time_source.begin();
+        s.obs.sc_merge_bytes.add(t.input_bytes());
+        s.obs.sc_segments_merged.add(t.segments_in() as u64);
+        let slot = t.slot();
+        let segs_in = t.segments_in();
+        let out = t.run(target);
+        if out.len() > segs_in {
+            s.obs.sc_splits.add((out.len() - segs_in) as u64);
+        }
+        s.obs.sc_segment_merge_ns.record(sw.elapsed_ns().max(1));
+        (slot, out)
+    };
+    let workers = s.cfg.housekeeping_threads.max(1).min(tasks.len());
+    if workers <= 1 {
+        return tasks.into_iter().map(run_one).collect();
+    }
+    let queue = Mutex::new(tasks);
+    let outputs = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some(t) = queue.lock().pop() else { return };
+                let out = run_one(t);
+                outputs.lock().push(out);
+            });
+        }
+    });
+    outputs.into_inner()
+}
+
+/// The L0 dump, once the flushed set outgrows its threshold. Any tables
+/// not yet folded (SC disabled, or flushed since the last round) are
+/// folded into a private dump snapshot first; the snapshot then streams
+/// into the storage component segment-by-segment, so the dump's resident
+/// set is one segment's entries, not the whole index.
+fn dump_if_due(s: &Arc<Shared>) {
     if s.mem.read().flushed_bytes < s.cfg.dump_threshold_bytes {
         return;
     }
+    let mut sw = s.obs.time_source.begin();
     let _ctx = cachekv_pmem::fault_context("cachekv::l0_dump");
-    // Build the dump set under a read lock (value resolution is the heavy
-    // part); `housekeep_lock` guarantees nobody else replaces `global`.
-    let (entries, dumped_gens) = {
+    // Build the dump snapshot under a read lock (cheap: `Arc` clones plus
+    // any straggler fold); `housekeep_lock` guarantees nobody else
+    // replaces `global` concurrently.
+    let (snapshot, dumped_gens, gen_regions) = {
         let m = s.mem.read();
         let sources: Vec<TableEntries> = m
             .flushed
             .iter()
             .map(|ft| (ft.gen, ft.index.entries()))
             .collect();
-        let merged = GlobalIndex::compact(m.global.as_ref(), sources);
         let dumped: Vec<u64> = m.gen_regions.keys().copied().collect();
-        let entries: Vec<Entry> = merged
-            .entries()
-            .into_iter()
-            .filter_map(|(_, _, gen, off)| {
-                let (base, _) = m.gen_regions[&gen];
-                match try_read_record(&s.hier, base, off as u64) {
-                    Some(e) => Some(e),
-                    // A trip can land between the entry check and here: the
-                    // region's blackholed copy never reached media. The
-                    // dump's own writes would be dropped anyway.
-                    None if s.hier.fault_tripped() => None,
-                    None => panic!("indexed record must decode"),
-                }
-            })
-            .collect();
-        (entries, dumped)
+        let snapshot = if sources.iter().any(|(_, es)| !es.is_empty()) {
+            let plan = m
+                .global
+                .plan(sources, s.cfg.sc_segment_target_entries, false);
+            let (tasks, kept) = plan.into_parts();
+            let outputs = run_merge_tasks(s, tasks);
+            PartitionedIndex::assemble(kept, outputs)
+        } else {
+            m.global.clone()
+        };
+        (snapshot, dumped, m.gen_regions.clone())
     };
-    if !entries.is_empty() {
-        if let Err(e) = s.storage.ingest(&entries) {
-            // A trip mid-dump blackholes the new table's bytes, which then
-            // fail their read-back; abandon the dump — nothing below would
-            // persist either.
-            if s.hier.fault_tripped() {
-                return;
+    // One table per `target` bytes; floored at the dump threshold so the
+    // default shape stays "one table per dump" (the write-amp contract of
+    // copy-based flush tests).
+    let target = s
+        .cfg
+        .storage
+        .table_target_bytes
+        .max(s.cfg.dump_threshold_bytes);
+    let mut stream = s.storage.ingest_stream(target);
+    let mut pushed = 0u64;
+    for seg in snapshot.segments() {
+        for (_, _, gen, off) in seg.entries() {
+            let (base, _) = gen_regions[&gen];
+            let e = match try_read_record(&s.hier, base, off as u64) {
+                Some(e) => e,
+                // A trip can land between the entry check and here: the
+                // region's blackholed copy never reached media. The dump's
+                // own writes would be dropped anyway.
+                None if s.hier.fault_tripped() => return,
+                None => panic!("indexed record must decode"),
+            };
+            if let Err(err) = stream.push(e) {
+                // A trip mid-dump blackholes the new table's bytes, which
+                // then fail their read-back; abandon the dump — nothing
+                // below would persist either.
+                if s.hier.fault_tripped() {
+                    return;
+                }
+                panic!("L0 ingest: {err:?}");
             }
-            panic!("L0 ingest: {e:?}");
+            pushed += 1;
         }
+    }
+    if let Err(err) = stream.finish() {
+        if s.hier.fault_tripped() {
+            return;
+        }
+        panic!("L0 ingest: {err:?}");
+    }
+    if pushed > 0 {
         s.obs.l0_dumps.inc();
-        s.obs.l0_dump_entries.add(entries.len() as u64);
+        s.obs.l0_dump_entries.add(pushed);
     }
     let mut m = s.mem.write();
     // Concurrent flushes may have added new gens; only retire what we
@@ -1084,10 +1347,13 @@ fn housekeep(s: &Arc<Shared>) {
         if let Some((base, len)) = m.gen_regions.remove(gen) {
             retired.push((base, len));
             m.flushed_bytes -= len;
+            s.flushed_total.fetch_sub(len, Ordering::Relaxed);
         }
     }
     m.flushed.retain(|ft| !dumped_gens.contains(&ft.gen));
-    m.global = None;
+    m.global = PartitionedIndex::new();
+    s.obs.sc_segments.set(0);
+    s.obs.sc_index_bytes.set(0);
     let (pool_base, pool_len) = s.pool.region();
     let survivors: Vec<(u64, u64, u64)> = m
         .flushed
@@ -1095,6 +1361,7 @@ fn housekeep(s: &Arc<Shared>) {
         .map(|ft| (ft.gen, ft.base, ft.len))
         .collect();
     s.flushlog.reset_with(pool_base, pool_len, &survivors);
+    drop(m);
     // Only return the dumped regions to the allocator once the new log is
     // published: until then the *old* log still references them, and a
     // crash would have recovery reading regions a concurrent flush had
@@ -1102,6 +1369,7 @@ fn housekeep(s: &Arc<Shared>) {
     for (base, len) in retired {
         s.alloc.free(base, len);
     }
+    s.obs.hk_phases.record(HousekeepPhase::Dump, sw.lap());
 }
 
 #[cfg(test)]

@@ -202,6 +202,14 @@ impl SubTable {
         self.hier.load_vec(self.base + DATA_OFF + off, len)
     }
 
+    /// Read `len` bytes of the data region at `off` into `buf`, resizing
+    /// it (previous contents are overwritten). Lets hot read paths reuse a
+    /// scratch buffer instead of allocating per call.
+    pub fn read_data_into(&self, off: u64, len: usize, buf: &mut Vec<u8>) {
+        buf.resize(len, 0);
+        self.hier.load(self.base + DATA_OFF + off, buf);
+    }
+
     /// The hierarchy this slot lives in.
     pub fn hierarchy(&self) -> &Arc<Hierarchy> {
         &self.hier

@@ -37,5 +37,5 @@ pub use kv::{Entry, EntryKind, Error, KvStore, Result};
 pub use memspace::{DramSpace, FlushMode, MemSpace, PmemSpace};
 pub use memtable::MemTable;
 pub use skiplist::SkipList;
-pub use storage_component::{StorageComponent, StorageConfig};
+pub use storage_component::{IngestStream, StorageComponent, StorageConfig};
 pub use tree::{LsmConfig, LsmTree};

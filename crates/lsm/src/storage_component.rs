@@ -212,6 +212,25 @@ impl StorageComponent {
         Ok(())
     }
 
+    /// Begin a streaming L0 ingest: push entries (globally sorted across
+    /// pushes) in arbitrary-sized batches, cut tables at `target_bytes`,
+    /// and publish every table in a single version edit at
+    /// [`IngestStream::finish`]. Lets a caller iterating a large source
+    /// (e.g. an index dump walking segment-by-segment) avoid materializing
+    /// the whole run in one `Vec`.
+    pub fn ingest_stream(&self, target_bytes: u64) -> IngestStream<'_> {
+        IngestStream {
+            sc: self,
+            target_bytes: target_bytes.max(1),
+            buf: Vec::new(),
+            buf_bytes: 0,
+            edits: Vec::new(),
+            max_seq: 0,
+            entries: 0,
+            bytes: 0,
+        }
+    }
+
     /// Largest sequence number persisted in any table. An in-memory hit
     /// whose sequence exceeds this dominates every entry the levels could
     /// return, so callers may skip [`StorageComponent::get_versioned`]. The
@@ -332,6 +351,75 @@ impl StorageComponent {
             out.insert_gauge(&format!("lsm.l{i}.bytes"), v.level_bytes(i) as i64);
         }
         out
+    }
+}
+
+/// An in-progress streaming ingest (see [`StorageComponent::ingest_stream`]).
+/// Entries must arrive in internal key order across all pushes. Dropping
+/// the stream without `finish` abandons any uncut buffer *and* any already
+/// built tables (their edits are never applied, so they stay invisible).
+pub struct IngestStream<'a> {
+    sc: &'a StorageComponent,
+    target_bytes: u64,
+    buf: Vec<Entry>,
+    buf_bytes: u64,
+    edits: Vec<VersionEdit>,
+    max_seq: u64,
+    entries: u64,
+    bytes: u64,
+}
+
+impl IngestStream<'_> {
+    /// Add one entry; cuts a table when the buffered bytes reach target.
+    pub fn push(&mut self, e: Entry) -> Result<()> {
+        self.buf_bytes += (e.key.len() + e.value.len() + 16) as u64;
+        self.buf.push(e);
+        if self.buf_bytes >= self.target_bytes {
+            self.cut()?;
+        }
+        Ok(())
+    }
+
+    fn cut(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let s = &self.sc.shared;
+        let id = s.vset.new_table_id();
+        let meta = build_table(
+            s.vset.hierarchy(),
+            s.vset.allocator(),
+            id,
+            &self.buf,
+            &s.cfg.table_opts,
+        )?;
+        self.entries += self.buf.len() as u64;
+        self.bytes += meta.len;
+        self.max_seq = self.max_seq.max(meta.max_seq);
+        self.edits.push(VersionEdit::AddTable { level: 0, meta });
+        self.buf.clear();
+        self.buf_bytes = 0;
+        Ok(())
+    }
+
+    /// Cut the remainder, publish every table in one version edit, and
+    /// kick compaction. Returns how many tables were added. The sequence
+    /// counter is raised *before* the tables become visible (same ordering
+    /// contract as [`StorageComponent::ingest`]).
+    pub fn finish(mut self) -> Result<usize> {
+        self.cut()?;
+        if self.edits.is_empty() {
+            return Ok(0);
+        }
+        let s = &self.sc.shared;
+        s.obs.ingests.inc();
+        s.obs.ingest_entries.add(self.entries);
+        s.obs.ingest_bytes.add(self.bytes);
+        s.max_table_seq.fetch_max(self.max_seq, Ordering::SeqCst);
+        let n = self.edits.len();
+        s.vset.apply(std::mem::take(&mut self.edits))?;
+        self.sc.maybe_compact();
+        Ok(n)
     }
 }
 

@@ -23,7 +23,8 @@ pub mod snapshot;
 pub use histogram::{bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot};
 pub use json::Json;
 pub use phase::{
-    timed, Phase, PhaseKind, PhaseSet, PhaseSetOf, ReadPhase, ReadPhaseSet, Stopwatch, TimeSource,
+    timed, HousekeepPhase, HousekeepPhaseSet, Phase, PhaseKind, PhaseSet, PhaseSetOf, ReadPhase,
+    ReadPhaseSet, Stopwatch, TimeSource,
 };
 pub use registry::{Counter, Gauge, MetricsExport, Registry};
 pub use snapshot::StatsSnapshot;

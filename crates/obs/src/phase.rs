@@ -211,6 +211,54 @@ impl PhaseKind for ReadPhase {
     }
 }
 
+/// The stages of one housekeeping round: planning which global-index
+/// segments a flushed table overlaps, the (parallel) per-segment merges,
+/// the atomic swap of the new segment set, and the streaming L0 dump.
+/// Runs on scheduler workers — never on a put path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HousekeepPhase {
+    /// Route flushed entries to overlapped segments, mark dirty runs.
+    Plan,
+    /// Per-segment k-way merges (parallel across worker threads).
+    Merge,
+    /// Publish the new segment set under the write lock.
+    Swap,
+    /// Stream the merged segments into L0 tables.
+    Dump,
+}
+
+impl HousekeepPhase {
+    /// Every housekeeping phase, in execution order.
+    pub const ALL: [HousekeepPhase; 4] = [
+        HousekeepPhase::Plan,
+        HousekeepPhase::Merge,
+        HousekeepPhase::Swap,
+        HousekeepPhase::Dump,
+    ];
+
+    /// Stable metric-name component.
+    pub fn key(self) -> &'static str {
+        match self {
+            HousekeepPhase::Plan => "plan",
+            HousekeepPhase::Merge => "merge",
+            HousekeepPhase::Swap => "swap",
+            HousekeepPhase::Dump => "dump",
+        }
+    }
+}
+
+impl PhaseKind for HousekeepPhase {
+    fn all() -> &'static [HousekeepPhase] {
+        &HousekeepPhase::ALL
+    }
+    fn key(self) -> &'static str {
+        HousekeepPhase::key(self)
+    }
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
 struct PhaseInstruments {
     total_ns: Arc<Counter>,
     hist: Arc<Histogram>,
@@ -229,6 +277,8 @@ pub struct PhaseSetOf<P: PhaseKind> {
 pub type PhaseSet = PhaseSetOf<Phase>;
 /// The read-phase set (probe-order decomposition).
 pub type ReadPhaseSet = PhaseSetOf<ReadPhase>;
+/// The housekeeping-round phase set (plan / merge / swap / dump).
+pub type HousekeepPhaseSet = PhaseSetOf<HousekeepPhase>;
 
 impl<P: PhaseKind> PhaseSetOf<P> {
     /// Register `{prefix}.phase.{phase}.total_ns` counters,

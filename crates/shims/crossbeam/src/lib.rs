@@ -1,8 +1,9 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! The workspace only uses `crossbeam::channel::{unbounded, Sender,
-//! Receiver}`; this shim provides an unbounded MPMC channel (cloneable on
-//! both ends, like crossbeam's) over a mutex-protected deque.
+//! The workspace uses `crossbeam::channel::{unbounded, bounded, Sender,
+//! Receiver}`; this shim provides unbounded and bounded MPMC channels
+//! (cloneable on both ends, like crossbeam's) over a mutex-protected
+//! deque.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -13,6 +14,10 @@ pub mod channel {
     struct Chan<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded channel frees a slot.
+        space: Condvar,
+        /// `None` = unbounded.
+        cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -65,23 +70,72 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The (bounded) channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    fn chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender { chan: chan.clone() }, Receiver { chan })
     }
 
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        chan(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `cap` messages
+    /// (`cap` is clamped to at least 1; crossbeam's zero-capacity
+    /// rendezvous channel is not supported).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        chan(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
+        /// Send, blocking while a bounded channel is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.chan.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
             let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.chan.cap {
+                while q.len() >= cap {
+                    if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(value));
+                    }
+                    q = self.chan.space.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+
+        /// Send without blocking: on a bounded channel at capacity the
+        /// value comes back as [`TrySendError::Full`].
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.chan.cap {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
             q.push_back(value);
             drop(q);
             self.chan.ready.notify_one();
@@ -113,6 +167,8 @@ pub mod channel {
             let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.chan.space.notify_one();
                     return Ok(v);
                 }
                 if self.chan.senders.load(Ordering::Acquire) == 0 {
@@ -125,6 +181,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(v) = q.pop_front() {
+                drop(q);
+                self.chan.space.notify_one();
                 return Ok(v);
             }
             if self.chan.senders.load(Ordering::Acquire) == 0 {
@@ -158,7 +216,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.chan.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver gone: wake senders blocked on a full
+                // bounded channel so they observe the disconnect.
+                self.chan.space.notify_all();
+            }
         }
     }
 
@@ -211,6 +273,37 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            assert!(tx.try_send(1).is_ok());
+            assert!(tx.try_send(2).is_ok());
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.recv(), Ok(1));
+            assert!(tx.try_send(3).is_ok());
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded(1);
+            tx.send(1u32).unwrap();
+            let t = std::thread::spawn(move || tx.send(2).is_ok());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert!(t.join().unwrap());
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn bounded_send_unblocks_on_disconnect() {
+            let (tx, rx) = bounded(1);
+            tx.send(1u32).unwrap();
+            let t = std::thread::spawn(move || tx.send(2).is_err());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(rx);
+            assert!(t.join().unwrap(), "send errors once receivers are gone");
         }
     }
 }

@@ -19,6 +19,8 @@ pub mod ycsb;
 pub use dbbench::DbBench;
 pub use dist::{KeyDist, Latest, Sequential, Uniform, Zipfian};
 
-pub use driver::{fill, run_ops, run_ops_with_latency, run_ycsb, LatencyStats, Measurement};
+pub use driver::{
+    fill, run_ops, run_ops_with_latency, run_ycsb, run_ycsb_with_latency, LatencyStats, Measurement,
+};
 pub use keys::{KeyGen, ValueGen};
 pub use ycsb::{YcsbOp, YcsbSpec, YcsbWorkload};
