@@ -46,6 +46,8 @@ bench-smoke:
 	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
 		$(CARGO) bench -p cachekv-bench --bench server_loopback
 	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
+		$(CARGO) bench -p cachekv-bench --bench fig_scan
+	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
 		CACHEKV_AB_DIR=$(CURDIR)/target/metrics \
 		$(CARGO) bench -p cachekv-bench --bench write_ab
 	CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
@@ -53,4 +55,5 @@ bench-smoke:
 		$(CURDIR)/target/metrics/fig10_write_throughput.json \
 		$(CURDIR)/target/metrics/fig11_read_throughput.json \
 		$(CURDIR)/target/metrics/server_loopback.json \
+		$(CURDIR)/target/metrics/fig_scan.json \
 		$(CURDIR)/target/metrics/write_ab.json

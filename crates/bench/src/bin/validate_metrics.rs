@@ -47,6 +47,12 @@ fn validate(path: &std::path::Path) {
     let mut server_requests = 0u64;
     let mut server_commits = 0u64;
     let mut server_labels = 0usize;
+    // Aggregated range-scan counters (scan artifacts must prove the merged
+    // cursor actually ran, both engine-side and over the wire).
+    let mut core_scans = 0u64;
+    let mut core_scan_items = 0u64;
+    let mut server_scans = 0u64;
+    let mut server_scan_items = 0u64;
     for (label, entry) in systems {
         // Every entry must be a full StatsSnapshot document.
         let snap = StatsSnapshot::from_json(entry)
@@ -92,6 +98,10 @@ fn validate(path: &std::path::Path) {
             ("core.housekeeping.rounds", &mut hk_rounds),
             ("core.sc.merges", &mut sc_merges),
             ("core.sc.merge_bytes", &mut sc_merge_bytes),
+            ("core.scans", &mut core_scans),
+            ("core.scan.items", &mut core_scan_items),
+            ("server.scans", &mut server_scans),
+            ("server.scan.items", &mut server_scan_items),
         ] {
             *slot += snap.memory.counters.get(counter).copied().unwrap_or(0);
         }
@@ -253,6 +263,21 @@ fn validate(path: &std::path::Path) {
                 .unwrap_or_else(|| fail(&format!("{label}: measurement missing put_p99_ns")));
             if p99 == 0 {
                 fail(&format!("{label}: put_p99_ns is zero"));
+            }
+        }
+    }
+    // Scan artifacts must demonstrate the full range-scan path: engine
+    // merged-cursor scans yielding items, and SCAN requests served over
+    // the wire.
+    if fig.contains("scan") {
+        for (name, total) in [
+            ("core.scans", core_scans),
+            ("core.scan.items", core_scan_items),
+            ("server.scans", server_scans),
+            ("server.scan.items", server_scan_items),
+        ] {
+            if total == 0 {
+                fail(&format!("scan figure: {name} never fired across labels"));
             }
         }
     }

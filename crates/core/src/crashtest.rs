@@ -355,6 +355,44 @@ pub fn sweep_store(opts: &SweepOptions) -> SweepOutcome {
                 "point {k} (ctx {context:?}): phantom key fabricated"
             );
         }
+        // Post-recovery scans agree with post-recovery gets: the merged
+        // cursor rebuilds from the same recovered sources the point-read
+        // path probes. Engines without a native scan keep the trait's
+        // "unsupported" default and are skipped.
+        match store2.scan(b"", b"", usize::MAX) {
+            Ok(scanned) => {
+                let mut prev: Option<&[u8]> = None;
+                for (key, val) in &scanned {
+                    if let Some(p) = prev {
+                        assert!(
+                            p < key.as_slice(),
+                            "point {k} (ctx {context:?}): scan keys out of order"
+                        );
+                    }
+                    prev = Some(key);
+                    assert_eq!(
+                        store2.get(key).unwrap().as_deref(),
+                        Some(val.as_slice()),
+                        "point {k} (ctx {context:?}): scan and get disagree on key {}",
+                        String::from_utf8_lossy(key)
+                    );
+                }
+                let seen: BTreeSet<&[u8]> = scanned.iter().map(|(key, _)| key.as_slice()).collect();
+                for key in history.keys() {
+                    if store2.get(key).unwrap().is_some() {
+                        assert!(
+                            seen.contains(key.as_slice()),
+                            "point {k} (ctx {context:?}): get sees key {} but scan missed it",
+                            String::from_utf8_lossy(key)
+                        );
+                    }
+                }
+            }
+            Err(e) => assert!(
+                format!("{e:?}").contains("scan is not supported"),
+                "point {k} (ctx {context:?}): post-recovery scan failed: {e:?}"
+            ),
+        }
         outcome.points_run += 1;
     }
     outcome

@@ -1,0 +1,244 @@
+//! The merged range cursor: one sorted, tombstone-free stream over every
+//! live source of the store.
+//!
+//! A scan sees the same components a get probes — active per-core
+//! sub-MemTables, sealed sub-ImmMemTables, copy-flushed tables, the
+//! compacted global index, and the LSM levels — but instead of racing them
+//! for one key it must present a *consistent ordered view* of a whole
+//! range. The store captures each source as a [`ScanSource`] (memory
+//! components materialized under their pin guards, sstables as lazily
+//! streamed Arc-pinned iterators) and this module heap-merges them in
+//! internal order (key asc, sequence desc).
+//!
+//! Consistency comes from two rules:
+//!
+//! * **Snapshot sequence.** The store reads the global sequence counter
+//!   once at scan start; every entry newer than that cut is dropped. Writes
+//!   that completed before the scan began hold sequences at or below the
+//!   cut, so the scan is exactly the committed prefix at its start time,
+//!   no matter how long the merge runs or what lands concurrently.
+//! * **Newest-first dedup.** Within the heap, versions of one key surface
+//!   newest first (the same `internal_cmp` order the skiplists and tables
+//!   store), so the first head per key is authoritative: a put yields its
+//!   value, a tombstone suppresses the key, and every later version of the
+//!   same key is stale and skipped.
+
+use cachekv_lsm::kv::{internal_cmp, meta_kind, meta_seq, EntryKind};
+use cachekv_lsm::sstable::OwnedTableIter;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// One versioned candidate from a source: `(key, meta, value)`, where a
+/// `None` value records a tombstone.
+pub(crate) type VersionedEntry = (Vec<u8>, u64, Option<Vec<u8>>);
+
+/// A sorted run of versioned entries feeding the merge heap.
+pub(crate) enum ScanSource {
+    /// Materialized memory-component run, already range-restricted and in
+    /// internal order (values copied out while the source was pinned).
+    Mem(std::vec::IntoIter<VersionedEntry>),
+    /// Lazily streamed sstable, seeked to the scan's start block. Range
+    /// and snapshot filtering happen here as blocks decode.
+    Table(OwnedTableIter),
+}
+
+impl ScanSource {
+    /// Next in-range entry at or below the snapshot cut, or `None` when
+    /// the source is exhausted (or past the end bound).
+    fn next(&mut self, start: &[u8], end: &[u8], snapshot_seq: u64) -> Option<VersionedEntry> {
+        match self {
+            ScanSource::Mem(it) => it.find(|(_, meta, _)| meta_seq(*meta) <= snapshot_seq),
+            ScanSource::Table(it) => loop {
+                let e = it.next()?;
+                if e.key.as_slice() < start {
+                    continue; // pre-range entries of the seeked first block
+                }
+                if !end.is_empty() && e.key.as_slice() >= end {
+                    return None; // tables are sorted: nothing further is in range
+                }
+                if meta_seq(e.meta) > snapshot_seq {
+                    continue;
+                }
+                let value = match meta_kind(e.meta) {
+                    EntryKind::Delete => None,
+                    EntryKind::Put => Some(e.value),
+                };
+                return Some((e.key, e.meta, value));
+            },
+        }
+    }
+}
+
+/// One source's current head in the merge heap. Ordered by internal order
+/// then source index, so equal `(key, meta)` pairs pop deterministically.
+struct Head {
+    key: Vec<u8>,
+    meta: u64,
+    value: Option<Vec<u8>>,
+    src: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Head {}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        internal_cmp(&self.key, self.meta, &other.key, other.meta).then(self.src.cmp(&other.src))
+    }
+}
+
+/// K-way merge over [`ScanSource`]s yielding live `(key, value)` pairs in
+/// ascending key order: newest version per key, tombstones resolved away.
+pub(crate) struct MergedCursor {
+    start: Vec<u8>,
+    end: Vec<u8>,
+    snapshot_seq: u64,
+    sources: Vec<ScanSource>,
+    heap: BinaryHeap<Reverse<Head>>,
+    last_key: Option<Vec<u8>>,
+}
+
+impl MergedCursor {
+    pub(crate) fn new(
+        start: &[u8],
+        end: &[u8],
+        snapshot_seq: u64,
+        mut sources: Vec<ScanSource>,
+    ) -> Self {
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (src, source) in sources.iter_mut().enumerate() {
+            if let Some((key, meta, value)) = source.next(start, end, snapshot_seq) {
+                heap.push(Reverse(Head {
+                    key,
+                    meta,
+                    value,
+                    src,
+                }));
+            }
+        }
+        MergedCursor {
+            start: start.to_vec(),
+            end: end.to_vec(),
+            snapshot_seq,
+            sources,
+            heap,
+            last_key: None,
+        }
+    }
+}
+
+impl Iterator for MergedCursor {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
+        loop {
+            let Reverse(head) = self.heap.pop()?;
+            if let Some((key, meta, value)) =
+                self.sources[head.src].next(&self.start, &self.end, self.snapshot_seq)
+            {
+                self.heap.push(Reverse(Head {
+                    key,
+                    meta,
+                    value,
+                    src: head.src,
+                }));
+            }
+            if self.last_key.as_deref() == Some(head.key.as_slice()) {
+                continue; // stale older version of an emitted/suppressed key
+            }
+            self.last_key = Some(head.key.clone());
+            match head.value {
+                Some(v) => return Some((head.key, v)),
+                None => continue, // newest version is a tombstone
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachekv_lsm::kv::pack_meta;
+
+    fn mem(entries: Vec<(&str, u64, EntryKind, Option<&str>)>) -> ScanSource {
+        let run: Vec<VersionedEntry> = entries
+            .into_iter()
+            .map(|(k, seq, kind, v)| {
+                (
+                    k.as_bytes().to_vec(),
+                    pack_meta(seq, kind),
+                    v.map(|v| v.as_bytes().to_vec()),
+                )
+            })
+            .collect();
+        ScanSource::Mem(run.into_iter())
+    }
+
+    fn collect(cursor: MergedCursor) -> Vec<(String, String)> {
+        cursor
+            .map(|(k, v)| (String::from_utf8(k).unwrap(), String::from_utf8(v).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn newest_version_wins_across_sources() {
+        let a = mem(vec![("k1", 5, EntryKind::Put, Some("new"))]);
+        let b = mem(vec![
+            ("k1", 2, EntryKind::Put, Some("old")),
+            ("k2", 3, EntryKind::Put, Some("live")),
+        ]);
+        let got = collect(MergedCursor::new(b"", b"", u64::MAX, vec![a, b]));
+        assert_eq!(
+            got,
+            vec![("k1".into(), "new".into()), ("k2".into(), "live".into())]
+        );
+    }
+
+    #[test]
+    fn tombstone_suppresses_older_puts() {
+        let a = mem(vec![("k1", 9, EntryKind::Delete, None)]);
+        let b = mem(vec![
+            ("k1", 4, EntryKind::Put, Some("dead")),
+            ("k2", 1, EntryKind::Put, Some("v")),
+        ]);
+        let got = collect(MergedCursor::new(b"", b"", u64::MAX, vec![a, b]));
+        assert_eq!(got, vec![("k2".into(), "v".into())]);
+    }
+
+    #[test]
+    fn snapshot_cut_hides_newer_writes() {
+        let a = mem(vec![
+            ("k1", 9, EntryKind::Put, Some("future")),
+            ("k1", 3, EntryKind::Put, Some("past")),
+        ]);
+        let got = collect(MergedCursor::new(b"", b"", 5, vec![a]));
+        assert_eq!(got, vec![("k1".into(), "past".into())]);
+    }
+
+    #[test]
+    fn snapshot_cut_hides_newer_tombstone() {
+        let a = mem(vec![
+            ("k1", 9, EntryKind::Delete, None),
+            ("k1", 3, EntryKind::Put, Some("alive-at-cut")),
+        ]);
+        let got = collect(MergedCursor::new(b"", b"", 5, vec![a]));
+        assert_eq!(got, vec![("k1".into(), "alive-at-cut".into())]);
+    }
+
+    #[test]
+    fn empty_sources_yield_nothing() {
+        let got = collect(MergedCursor::new(b"a", b"z", u64::MAX, Vec::new()));
+        assert!(got.is_empty());
+    }
+}

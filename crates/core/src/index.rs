@@ -218,6 +218,22 @@ impl SubIndex {
             .collect()
     }
 
+    /// Indexed `(key, meta, offset)` triples with `start <= key < end`
+    /// (empty `end` = unbounded), in internal order. Seeks instead of
+    /// walking the whole list, so a narrow scan over a large index stays
+    /// cheap.
+    pub fn range_entries(&self, start: &[u8], end: &[u8]) -> Vec<IndexedEntry> {
+        let g = self.inner.read();
+        g.list
+            .iter_from(start)
+            .take_while(|e| end.is_empty() || e.key.as_slice() < end)
+            .map(|e| {
+                let off = u32::from_le_bytes(e.value[..4].try_into().unwrap());
+                (e.key, e.meta, off)
+            })
+            .collect()
+    }
+
     /// Build a [`ReadFilter`] over every indexed key. Only meaningful once
     /// the index is fully synced with its (now immutable) table.
     pub fn build_filter(&self) -> Option<ReadFilter> {

@@ -62,6 +62,7 @@
 
 pub mod config;
 pub mod crashtest;
+pub(crate) mod cursor;
 pub mod flushlog;
 pub mod index;
 pub mod metrics;

@@ -24,6 +24,18 @@ pub struct StoreObs {
     pub write_ns: Arc<Histogram>,
     /// Whole-op get latency.
     pub get_ns: Arc<Histogram>,
+    /// Range scans served.
+    pub scans: Arc<Counter>,
+    /// Whole-op scan latency (snapshot capture + merge).
+    pub scan_ns: Arc<Histogram>,
+    /// Live `(key, value)` pairs returned by scans.
+    pub scan_items: Arc<Counter>,
+    /// Sources (flushed tables, segments, sstables) a scan skipped because
+    /// their key fences were disjoint from the range.
+    pub scan_fence_skips: Arc<Counter>,
+    /// Snapshot captures thrown away and retried because a version-dropping
+    /// compaction (SC fold swap, L0 dump, LSM compaction) landed mid-capture.
+    pub scan_retries: Arc<Counter>,
     /// Figure 5 phase decomposition of the write path.
     pub put_phases: PhaseSet,
     /// Probe-order decomposition of the read path.
@@ -117,6 +129,11 @@ impl StoreObs {
             deletes: registry.counter("core.deletes"),
             write_ns: registry.histogram("core.write_ns"),
             get_ns: registry.histogram("core.get_ns"),
+            scans: registry.counter("core.scans"),
+            scan_ns: registry.histogram("core.scan_ns"),
+            scan_items: registry.counter("core.scan.items"),
+            scan_fence_skips: registry.counter("core.scan.fence_skips"),
+            scan_retries: registry.counter("core.scan.retries"),
             put_phases: PhaseSet::register(&registry, "core.put", time_source),
             get_phases: ReadPhaseSet::register(&registry, "core.get", time_source),
             read_probes: registry.counter("core.read.probes"),

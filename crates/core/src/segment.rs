@@ -110,6 +110,19 @@ impl Segment {
             .collect()
     }
 
+    /// Entries with key `>= start`, in internal order. The caller applies
+    /// its end bound; segment fences already bound the tail.
+    pub fn entries_from(&self, start: &[u8]) -> Vec<GlobalEntry> {
+        self.list
+            .iter_from(start)
+            .map(|e| {
+                let gen = u64::from_le_bytes(e.value[0..8].try_into().unwrap());
+                let off = u32::from_le_bytes(e.value[8..12].try_into().unwrap());
+                (e.key, e.meta, gen, off)
+            })
+            .collect()
+    }
+
     /// Approximate resident bytes (keys + fixed per-entry value).
     fn approx_bytes(&self) -> u64 {
         (self.key_bytes + self.entries * 12) as u64

@@ -2,6 +2,7 @@
 //! lazy index update, copy-based flush, and sub-skiplist compaction.
 
 use crate::config::CacheKvConfig;
+use crate::cursor::{MergedCursor, ScanSource, VersionedEntry};
 use crate::flushlog::FlushLog;
 use crate::index::{
     read_record, try_read_record, FilterVerdict, FlushedTable, SubIndex, TableEntries,
@@ -13,7 +14,8 @@ use crate::segment::{GlobalProbe, MergeTask, PartitionedIndex, Segment};
 use crate::subtable::{Append, SlotState, SubTable, DATA_OFF};
 use cachekv_cache::Hierarchy;
 use cachekv_lsm::kv::{
-    decode_record_at, meta_kind, meta_seq, pack_meta, record_len, EntryKind, Error, KvStore, Result,
+    decode_record_at, internal_cmp, meta_kind, meta_seq, pack_meta, record_len, EntryKind, Error,
+    KvStore, Result,
 };
 use cachekv_lsm::tree::PmemLayout;
 use cachekv_lsm::StorageComponent;
@@ -98,6 +100,13 @@ struct Shared {
     dump_done: Condvar,
     /// Serializes housekeeping (compaction + dump) across callers.
     housekeep_lock: Mutex<()>,
+    /// Bumped (under the `mem` write lock) by every memory-component swap
+    /// that can *drop* key versions — the SC fold swap and the L0 dump
+    /// retirement. Scans sample it before and after snapshot capture: a
+    /// change means a version at or below the scan's sequence cut may have
+    /// been compacted away mid-capture, so the capture must be retried.
+    /// Migrations that merely move data (seal, flush) never bump it.
+    drop_epoch: AtomicU64,
     obs: StoreObs,
 }
 
@@ -369,6 +378,7 @@ impl CacheKv {
             dump_mutex: Mutex::new(()),
             dump_done: Condvar::new(),
             housekeep_lock: Mutex::new(()),
+            drop_epoch: AtomicU64::new(0),
             obs,
             cfg,
         });
@@ -768,6 +778,20 @@ impl KvStore for CacheKv {
         out
     }
 
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let obs = &self.shared.obs;
+        obs.scans.inc();
+        let op = obs.time_source.begin();
+        IN_READ.with(|c| c.set(true));
+        let out = self.scan_inner(start, end, limit);
+        IN_READ.with(|c| c.set(false));
+        obs.scan_ns.record(op.elapsed_ns());
+        if let Ok(items) = &out {
+            obs.scan_items.add(items.len() as u64);
+        }
+        out
+    }
+
     fn name(&self) -> &'static str {
         match (
             self.shared.cfg.techniques.lazy_index,
@@ -938,6 +962,185 @@ impl CacheKv {
         obs.get_phases.record(ReadPhase::LsmProbe, sw.lap());
         Ok(best.and_then(|(_, v)| v))
     }
+
+    /// The range-scan path: pin a consistent snapshot of every source,
+    /// then heap-merge them through a [`MergedCursor`].
+    ///
+    /// Capture runs in the read path's probe order — active views first
+    /// (under their publish guards), then sealing/flushed/global under one
+    /// `mem` read guard, then the LSM version — which is the *opposite* of
+    /// the direction data migrates (active → sealing → flushed → global →
+    /// LSM). A migration racing the capture can therefore only duplicate
+    /// an entry across two captured sources, never hide it, and duplicates
+    /// are resolved by the merge's newest-first dedup. Memory-component
+    /// values are copied out while their pin guard is held (sub-MemTable
+    /// slots and flushed regions can be recycled after it drops); sstables
+    /// stay lazy because their `Arc` handles pin table space directly.
+    /// Like gets, scans never touch a CoreSlot mutex.
+    ///
+    /// Migration alone is not the only hazard: the SC fold, the L0 dump,
+    /// and LSM compactions *drop* every non-newest version of a key. A
+    /// capture pinned to a sequence cut needs the newest version *at or
+    /// below the cut*, which such a drop can destroy mid-capture (the
+    /// surviving newest version is above the cut, so the cursor filters
+    /// it and the key goes silently stale or missing). The capture
+    /// therefore pins the LSM version and samples the memory component's
+    /// drop epoch *before* reading the cut, re-checks both after capture,
+    /// and retries on interference — drops that completed before the pin
+    /// are benign (their surviving newest version predates the cut), and
+    /// drops after it are detected. Persistent interference (tiny tables,
+    /// heavy preemption) falls back to capturing under the housekeeping
+    /// lock, which excludes SC and dumps entirely.
+    fn scan_inner(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let s = &self.shared;
+        if limit == 0 || (!end.is_empty() && start >= end) {
+            return Ok(Vec::new());
+        }
+        let mut attempts = 0u32;
+        loop {
+            let quell = if attempts >= 4 {
+                Some(s.housekeep_lock.lock())
+            } else {
+                None
+            };
+            if let Some(out) = self.scan_capture(start, end, limit) {
+                return Ok(out);
+            }
+            drop(quell);
+            s.obs.scan_retries.inc();
+            attempts += 1;
+        }
+    }
+
+    /// One snapshot-capture attempt: pin, cut, capture every source, then
+    /// validate that no version-dropping compaction intervened. `None`
+    /// means the capture cannot be trusted and the caller must retry.
+    fn scan_capture(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        let s = &self.shared;
+        let obs = &s.obs;
+        // Pin the LSM version (the `Arc` keeps its tables readable and
+        // makes the post-capture pointer comparison ABA-free) and sample
+        // the drop epoch, both *before* the cut.
+        let version = s.storage.versions().current();
+        let epoch = s.drop_epoch.load(Ordering::SeqCst);
+        // The consistent cut: every write that completed before this line
+        // holds a sequence at or below it; anything newer is filtered out
+        // by the cursor, so concurrent writers cannot tear the result.
+        let snapshot_seq = s.storage.versions().last_seq();
+        let mut scratch = Vec::new();
+        let mut sources: Vec<ScanSource> = Vec::new();
+
+        // 1. Active sub-MemTables.
+        let mask = self.active_mask.load(Ordering::SeqCst);
+        for (core, slot) in self.publish.iter().enumerate() {
+            if core < 64 && mask & (1u64 << core) == 0 {
+                continue;
+            }
+            let guard = slot.read();
+            let Some(view) = guard.as_ref() else {
+                continue;
+            };
+            let run = scan_table_range(s, &view.st, &view.index, start, end, &mut scratch);
+            drop(guard);
+            if !run.is_empty() {
+                sources.push(ScanSource::Mem(run.into_iter()));
+            }
+        }
+
+        // 2. Sealing, flushed, and global index under one `mem` guard.
+        {
+            let m = s.mem.read();
+            for (st, index) in &m.sealing {
+                let run = scan_table_range(s, st, index, start, end, &mut scratch);
+                if !run.is_empty() {
+                    sources.push(ScanSource::Mem(run.into_iter()));
+                }
+            }
+            for ft in &m.flushed {
+                if let Some(f) = &ft.filter {
+                    let (min, max) = f.fences();
+                    if max < start || (!end.is_empty() && min >= end) {
+                        obs.scan_fence_skips.inc();
+                        continue;
+                    }
+                }
+                let mut run: Vec<VersionedEntry> = Vec::new();
+                for (key, meta, off) in ft.index.range_entries(start, end) {
+                    let value = match meta_kind(meta) {
+                        EntryKind::Delete => None,
+                        EntryKind::Put => Some(read_record(&s.hier, ft.base, off as u64).value),
+                    };
+                    run.push((key, meta, value));
+                }
+                if !run.is_empty() {
+                    sources.push(ScanSource::Mem(run.into_iter()));
+                }
+            }
+            for seg in m.global.segments() {
+                if seg.max() < start || (!end.is_empty() && seg.min() >= end) {
+                    obs.scan_fence_skips.inc();
+                    continue;
+                }
+                let mut run: Vec<VersionedEntry> = Vec::new();
+                for (key, meta, gen, off) in seg.entries_from(start) {
+                    if !end.is_empty() && key.as_slice() >= end {
+                        break;
+                    }
+                    let value = match meta_kind(meta) {
+                        EntryKind::Delete => None,
+                        EntryKind::Put => {
+                            let (base, _) = m.gen_regions[&gen];
+                            Some(read_record(&s.hier, base, off as u64).value)
+                        }
+                    };
+                    run.push((key, meta, value));
+                }
+                if !run.is_empty() {
+                    sources.push(ScanSource::Mem(run.into_iter()));
+                }
+            }
+        }
+
+        // 3. LSM tables, Arc-pinned by the version captured before the cut.
+        for level in &version.levels {
+            for table in level {
+                if table.meta.largest.as_slice() < start
+                    || (!end.is_empty() && table.meta.smallest.as_slice() >= end)
+                {
+                    obs.scan_fence_skips.inc();
+                    continue;
+                }
+                sources.push(ScanSource::Table(table.iter_from_owned(start)));
+            }
+        }
+
+        // Validate before merging: if a version-dropping swap landed since
+        // the pin, some source may have lost the newest-at-or-below-cut
+        // version of a key and the whole capture is suspect. The memory
+        // runs are already private copies and the pinned sstables are
+        // immutable, so a *clean* capture stays trustworthy for however
+        // long the merge below takes.
+        if s.drop_epoch.load(Ordering::SeqCst) != epoch
+            || !Arc::ptr_eq(&version, &s.storage.versions().current())
+        {
+            return None;
+        }
+        Some(
+            MergedCursor::new(start, end, snapshot_seq, sources)
+                .take(limit)
+                .collect(),
+        )
+    }
 }
 
 /// Newest version candidate for a key: `(meta, value)`, where a `None`
@@ -997,6 +1200,56 @@ fn probe_table(
         }
     }
     (best, lag_tail)
+}
+
+/// Read-only range capture of one (active or sealing) sub-MemTable: every
+/// in-range version from the indexed prefix plus a decode-scan of the
+/// unindexed suffix `[list tail, table tail)`, values copied out, sorted
+/// into internal order. The caller pins the table (publish read guard or
+/// `mem` lock) for the duration — the same discipline as [`probe_table`].
+fn scan_table_range(
+    s: &Shared,
+    st: &SubTable,
+    index: &SubIndex,
+    start: &[u8],
+    end: &[u8],
+    scratch: &mut Vec<u8>,
+) -> Vec<VersionedEntry> {
+    let (_, synced_tail) = index.counters();
+    let tail = st.header().tail();
+    let mut run: Vec<VersionedEntry> = Vec::new();
+    for (key, meta, off) in index.range_entries(start, end) {
+        let value = match meta_kind(meta) {
+            EntryKind::Delete => None,
+            // `try_read_record`, not `read_record`: under a racing recycle
+            // the offset may point at garbage (see `probe_table`).
+            EntryKind::Put => match try_read_record(&s.hier, st.base + DATA_OFF, off as u64) {
+                Some(e) => Some(e.value),
+                None => continue,
+            },
+        };
+        run.push((key, meta, value));
+    }
+    if synced_tail < tail {
+        st.read_data_into(synced_tail, (tail - synced_tail) as usize, scratch);
+        let raw: &[u8] = scratch;
+        let mut pos = 0usize;
+        while let Some((e, next)) = decode_record_at(raw, pos) {
+            pos = next;
+            if e.key.as_slice() < start || (!end.is_empty() && e.key.as_slice() >= end) {
+                continue;
+            }
+            let value = match meta_kind(e.meta) {
+                EntryKind::Delete => None,
+                EntryKind::Put => Some(e.value),
+            };
+            run.push((e.key, e.meta, value));
+        }
+        // The suffix arrives in append order; the merge heap needs each
+        // source in internal order.
+        run.sort_by(|a, b| internal_cmp(&a.0, a.1, &b.0, b.1));
+    }
+    run
 }
 
 impl Drop for CacheKv {
@@ -1206,6 +1459,9 @@ fn sc_round(s: &Arc<Shared>) {
     let new_global = PartitionedIndex::assemble(kept, outputs);
     {
         let mut m = s.mem.write();
+        // The fold kept only each key's newest version: a concurrent scan
+        // pinned to an older sequence cut must detect this swap and retry.
+        s.drop_epoch.fetch_add(1, Ordering::SeqCst);
         // Tables flushed after the snapshot stay pending for next round.
         m.flushed.retain(|ft| !merged_gens.contains(&ft.gen));
         s.obs.sc_segments.set(new_global.segments().len() as i64);
@@ -1340,6 +1596,9 @@ fn dump_if_due(s: &Arc<Shared>) {
         s.obs.l0_dump_entries.add(pushed);
     }
     let mut m = s.mem.write();
+    // The dump's fold kept only each key's newest version and the retired
+    // regions below stop being readable: scans mid-capture must retry.
+    s.drop_epoch.fetch_add(1, Ordering::SeqCst);
     // Concurrent flushes may have added new gens; only retire what we
     // dumped, and rebuild the flush log to cover the survivors.
     let mut retired = Vec::with_capacity(dumped_gens.len());

@@ -169,6 +169,18 @@ pub trait KvStore: Send + Sync {
     /// Remove `key` (writes a tombstone).
     fn delete(&self, key: &[u8]) -> Result<()>;
 
+    /// Range scan: up to `limit` live `(key, value)` pairs with
+    /// `start <= key < end`, sorted ascending, tombstones resolved away.
+    /// An empty `end` means unbounded; pass `usize::MAX` for no limit.
+    /// Stores without an ordered scan path keep the erroring default.
+    fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let _ = (start, end, limit);
+        Err(Error::Corruption(format!(
+            "{}: scan is not supported by this store",
+            self.name()
+        )))
+    }
+
     /// Human-readable system name (used by benchmark reports).
     fn name(&self) -> &'static str;
 

@@ -248,6 +248,19 @@ impl<S: MemSpace> SkipList<S> {
         }
     }
 
+    /// Iterate in internal order starting at the first entry whose key is
+    /// `>= key`. Seeking with `meta = u64::MAX` works because internal
+    /// order is key asc, meta desc: `(key, u64::MAX)` sorts before every
+    /// real version of `key`, so the successor of its predecessors is the
+    /// first node with `node_key >= key`.
+    pub fn iter_from(&self, key: &[u8]) -> SkipIter<'_, S> {
+        let preds = self.find_preds(key, u64::MAX);
+        SkipIter {
+            list: self,
+            cur: self.next(preds[0], MAX_HEIGHT, 0),
+        }
+    }
+
     /// Iterate `(key, meta)` pairs in internal order without materializing
     /// values — for bloom/fence construction over large lists.
     pub fn iter_keys(&self) -> SkipKeyIter<'_, S> {
@@ -429,6 +442,34 @@ mod tests {
         l.insert(b"a", pack_meta(1, EntryKind::Put), b"1").unwrap();
         l.insert(b"c", pack_meta(2, EntryKind::Put), b"3").unwrap();
         assert!(l.get_latest(b"b").is_none());
+    }
+
+    #[test]
+    fn iter_from_seeks_to_first_key_at_or_after() {
+        let mut l = list(1 << 18);
+        for (seq, k) in [b"b", b"d", b"f"].iter().enumerate() {
+            l.insert(*k, pack_meta(seq as u64 + 1, EntryKind::Put), b"v")
+                .unwrap();
+        }
+        // Multiple versions of "d": iter_from must start at the newest.
+        l.insert(b"d", pack_meta(9, EntryKind::Put), b"v9").unwrap();
+
+        let keys = |start: &[u8]| -> Vec<Vec<u8>> { l.iter_from(start).map(|e| e.key).collect() };
+        assert_eq!(
+            keys(b"a"),
+            vec![b"b".to_vec(), b"d".to_vec(), b"d".to_vec(), b"f".to_vec()]
+        );
+        assert_eq!(
+            keys(b"c"),
+            vec![b"d".to_vec(), b"d".to_vec(), b"f".to_vec()]
+        );
+        assert_eq!(keys(b"f"), vec![b"f".to_vec()]);
+        assert!(keys(b"g").is_empty());
+        // Exact-key seek lands on the newest version first.
+        let first = l.iter_from(b"d").next().unwrap();
+        assert_eq!(crate::kv::meta_seq(first.meta), 9);
+        // Empty start key walks the whole list.
+        assert_eq!(keys(b""), keys(b"a"));
     }
 
     #[test]

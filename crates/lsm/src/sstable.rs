@@ -284,6 +284,34 @@ impl TableHandle {
         }
     }
 
+    /// Iterate in internal order starting at the first block whose last
+    /// key is `>= key`. Entries earlier in that block still precede `key`;
+    /// the caller filters them against its start bound.
+    pub fn iter_from(&self, key: &[u8]) -> TableIter<'_> {
+        TableIter {
+            table: self,
+            block_idx: self
+                .index
+                .partition_point(|(_, _, last)| last.as_slice() < key),
+            block: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Like [`iter_from`](Self::iter_from) but owns its table handle, so a
+    /// long-lived scan cursor can hold the stream while the Arc pins the
+    /// table (and its reclaimable space) against compaction retirement.
+    pub fn iter_from_owned(self: &Arc<Self>, key: &[u8]) -> OwnedTableIter {
+        OwnedTableIter {
+            block_idx: self
+                .index
+                .partition_point(|(_, _, last)| last.as_slice() < key),
+            table: Arc::clone(self),
+            block: Vec::new(),
+            pos: 0,
+        }
+    }
+
     /// Arrange for the table's space to return to `alloc` when the last
     /// reference drops (called after a compaction retires the table).
     pub fn reclaim_with(&self, alloc: Arc<PmemAllocator>) {
@@ -342,6 +370,44 @@ pub struct TableIter<'a> {
 }
 
 impl Iterator for TableIter<'_> {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        loop {
+            if self.pos < self.block.len() {
+                let mut it = BlockIter {
+                    data: &self.block,
+                    pos: self.pos,
+                };
+                if let Some(e) = it.next() {
+                    self.pos = it.pos;
+                    return Some(e);
+                }
+            }
+            if self.block_idx >= self.table.index.len() {
+                return None;
+            }
+            let (off, len, _) = &self.table.index[self.block_idx];
+            self.block = self
+                .table
+                .hier
+                .load_vec(self.table.meta.base + off, *len as usize);
+            self.pos = 0;
+            self.block_idx += 1;
+        }
+    }
+}
+
+/// Owning variant of [`TableIter`]: same block walk, but the handle rides
+/// along as an `Arc` (see [`TableHandle::iter_from_owned`]).
+pub struct OwnedTableIter {
+    table: Arc<TableHandle>,
+    block_idx: usize,
+    block: Vec<u8>,
+    pos: usize,
+}
+
+impl Iterator for OwnedTableIter {
     type Item = Entry;
 
     fn next(&mut self) -> Option<Entry> {
@@ -446,6 +512,28 @@ mod tests {
         let t = TableHandle::open(hier, meta).unwrap();
         let got: Vec<Entry> = t.iter().collect();
         assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn iter_from_starts_in_the_right_block() {
+        let (hier, alloc) = setup();
+        let entries = sorted_entries(300);
+        let opts = TableOptions {
+            block_size: 512,
+            bloom_bits_per_key: 10,
+        };
+        let meta = build_table(&hier, &alloc, 1, &entries, &opts).unwrap();
+        let t = TableHandle::open(hier, meta).unwrap();
+        for start in [
+            b"key000000".to_vec(),
+            b"key000123".to_vec(),
+            b"key000299".to_vec(),
+        ] {
+            let got: Vec<Entry> = t.iter_from(&start).filter(|e| e.key >= start).collect();
+            let want: Vec<Entry> = entries.iter().filter(|e| e.key >= start).cloned().collect();
+            assert_eq!(got, want, "start {:?}", String::from_utf8_lossy(&start));
+        }
+        assert!(t.iter_from(b"key999999").next().is_none());
     }
 
     #[test]

@@ -50,6 +50,9 @@ impl fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// One SCAN page: the returned pairs plus the `more` continuation flag.
+pub type ScanPage = (Vec<(Vec<u8>, Vec<u8>)>, bool);
+
 struct ClientInner {
     tx: Mutex<Box<dyn Write + Send>>,
     pending: Mutex<HashMap<u64, Sender<Response>>>,
@@ -180,6 +183,29 @@ impl KvClient {
         }
     }
 
+    /// One SCAN page: up to `limit` live pairs with `start <= key < end`
+    /// (empty `end` = unbounded), strictly after `resume_after` when set.
+    /// Returns `(items, more)`; `more` means the server truncated and a
+    /// continuation (resume after the last returned key) fetches the rest.
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: u32,
+        resume_after: Option<&[u8]>,
+    ) -> Result<ScanPage, ClientError> {
+        match self.call(&Request::Scan {
+            start: start.to_vec(),
+            end: end.to_vec(),
+            limit,
+            resume_after: resume_after.map(|k| k.to_vec()),
+        })? {
+            Response::Scan { items, more } => Ok((items, more)),
+            Response::Err(e) => Err(ClientError::Remote(e)),
+            _ => Err(ClientError::Unexpected("scan")),
+        }
+    }
+
     /// The server's stats document (JSON: `server` metrics, per-shard
     /// snapshots, and a merged `StatsSnapshot`).
     pub fn stats(&self) -> Result<String, ClientError> {
@@ -273,6 +299,32 @@ impl KvStore for RemoteStore {
 
     fn name(&self) -> &'static str {
         "cachekv-remote"
+    }
+
+    /// Paged wire scan: follow continuation cursors until the limit is
+    /// met or the server reports the range exhausted. The concatenated
+    /// pages equal one unbounded scan of the same range.
+    fn scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> cachekv_lsm::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut resume: Option<Vec<u8>> = None;
+        loop {
+            let want = (limit - out.len()).min(u32::MAX as usize) as u32;
+            let (items, more) = self
+                .client
+                .scan(start, end, want, resume.as_deref())
+                .map_err(remote_error)?;
+            out.extend(items);
+            if !more || out.len() >= limit {
+                out.truncate(limit);
+                return Ok(out);
+            }
+            resume = out.last().map(|(k, _)| k.clone());
+        }
     }
 
     fn quiesce(&self) {

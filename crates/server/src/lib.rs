@@ -33,6 +33,6 @@ pub mod transport;
 pub use client::{ClientError, KvClient, Pending, RemoteStore};
 pub use obs::ServerObs;
 pub use protocol::{BatchOp, BatchReply, Request, Response};
-pub use server::{shard_for_key, KvServer, ReplySender, ServerConfig};
+pub use server::{shard_for_key, KvServer, ReplySender, ServerConfig, MAX_SCAN_PAGE};
 pub use shard::Shard;
 pub use transport::{Connection, LoopbackTransport, TcpTransport, Transport};

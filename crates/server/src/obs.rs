@@ -23,12 +23,18 @@ pub struct ServerObs {
     pub pings: Arc<Counter>,
     pub stats_requests: Arc<Counter>,
     pub errors: Arc<Counter>,
+    /// SCAN requests served (each continuation page counts once).
+    pub scans: Arc<Counter>,
+    /// Items returned across all SCAN pages.
+    pub scan_items: Arc<Counter>,
 
     // Per-op wire-to-ack latency (p50/p95/p99 come from the histogram).
     pub get_ns: Arc<Histogram>,
     pub put_ns: Arc<Histogram>,
     pub delete_ns: Arc<Histogram>,
     pub batch_ns: Arc<Histogram>,
+    /// SCAN wire-to-ack latency (fan-out + cross-shard merge included).
+    pub scan_ns: Arc<Histogram>,
 
     // Group commit.
     /// Committed batches (one per shard commit round).
@@ -66,10 +72,13 @@ impl ServerObs {
             pings: registry.counter("server.pings"),
             stats_requests: registry.counter("server.stats_requests"),
             errors: registry.counter("server.errors"),
+            scans: registry.counter("server.scans"),
+            scan_items: registry.counter("server.scan.items"),
             get_ns: registry.histogram("server.get_ns"),
             put_ns: registry.histogram("server.put_ns"),
             delete_ns: registry.histogram("server.delete_ns"),
             batch_ns: registry.histogram("server.batch_ns"),
+            scan_ns: registry.histogram("server.scan_ns"),
             group_commits: registry.counter("server.group_commit.commits"),
             batch_size: registry.histogram("server.group_commit.batch_size"),
             queue_depth_hist: registry.histogram("server.group_commit.queue_depth"),

@@ -37,6 +37,7 @@ pub const OP_DELETE: u8 = 3;
 pub const OP_BATCH: u8 = 4;
 pub const OP_STATS: u8 = 5;
 pub const OP_PING: u8 = 6;
+pub const OP_SCAN: u8 = 7;
 
 /// Response status codes.
 pub const ST_OK: u8 = 0;
@@ -45,16 +46,38 @@ pub const ST_NOT_FOUND: u8 = 2;
 pub const ST_BATCH: u8 = 3;
 pub const ST_STATS: u8 = 4;
 pub const ST_ERR: u8 = 5;
+pub const ST_SCAN: u8 = 6;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    Get { key: Vec<u8> },
-    Put { key: Vec<u8>, value: Vec<u8> },
-    Delete { key: Vec<u8> },
-    Batch { ops: Vec<BatchOp> },
+    Get {
+        key: Vec<u8>,
+    },
+    Put {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    Delete {
+        key: Vec<u8>,
+    },
+    Batch {
+        ops: Vec<BatchOp>,
+    },
     Stats,
-    Ping { sync: bool },
+    Ping {
+        sync: bool,
+    },
+    /// Range scan: up to `limit` live pairs with `start <= key < end`
+    /// (empty `end` = unbounded). `resume_after` is the continuation
+    /// cursor: when present, only keys strictly greater are returned, so a
+    /// client pages a long range by echoing the last key it received.
+    Scan {
+        start: Vec<u8>,
+        end: Vec<u8>,
+        limit: u32,
+        resume_after: Option<Vec<u8>>,
+    },
 }
 
 /// One operation inside a BATCH. Gets are allowed so a batch can read its
@@ -91,6 +114,13 @@ pub enum Response {
     Stats(String),
     /// The request failed server-side.
     Err(String),
+    /// One SCAN result page, sorted ascending. `more` means the range was
+    /// truncated at the limit and a continuation (resume after the last
+    /// key here) can fetch the rest.
+    Scan {
+        items: Vec<(Vec<u8>, Vec<u8>)>,
+        more: bool,
+    },
 }
 
 /// One BATCH op's outcome.
@@ -287,6 +317,24 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             buf.push(OP_PING);
             buf.push(*sync as u8);
         }
+        Request::Scan {
+            start,
+            end,
+            limit,
+            resume_after,
+        } => {
+            buf.push(OP_SCAN);
+            put_bytes(&mut buf, start);
+            put_bytes(&mut buf, end);
+            buf.extend_from_slice(&limit.to_le_bytes());
+            match resume_after {
+                Some(k) => {
+                    buf.push(1);
+                    put_bytes(&mut buf, k);
+                }
+                None => buf.push(0),
+            }
+        }
     }
     buf
 }
@@ -340,6 +388,22 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
         OP_PING => Request::Ping {
             sync: c.u8("ping flag")? != 0,
         },
+        OP_SCAN => {
+            let start = c.bytes("scan start")?;
+            let end = c.bytes("scan end")?;
+            let limit = c.u32("scan limit")?;
+            let resume_after = match c.u8("scan resume flag")? {
+                0 => None,
+                1 => Some(c.bytes("scan resume key")?),
+                t => return Err(ProtoError::BadTag(t)),
+            };
+            Request::Scan {
+                start,
+                end,
+                limit,
+                resume_after,
+            }
+        }
         t => return Err(ProtoError::BadTag(t)),
     };
     c.done("trailing request bytes")?;
@@ -383,6 +447,15 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             buf.push(ST_ERR);
             put_bytes(&mut buf, e.as_bytes());
         }
+        Response::Scan { items, more } => {
+            buf.push(ST_SCAN);
+            buf.push(*more as u8);
+            buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for (k, v) in items {
+                put_bytes(&mut buf, k);
+                put_bytes(&mut buf, v);
+            }
+        }
     }
     buf
 }
@@ -423,6 +496,29 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
         }
         ST_STATS => Response::Stats(String::from_utf8_lossy(&c.bytes("stats json")?).into_owned()),
         ST_ERR => Response::Err(String::from_utf8_lossy(&c.bytes("error")?).into_owned()),
+        ST_SCAN => {
+            let more = match c.u8("scan more flag")? {
+                0 => false,
+                1 => true,
+                t => return Err(ProtoError::BadTag(t)),
+            };
+            let n = c.u32("scan item count")? as usize;
+            // Each item costs at least two length prefixes: same
+            // poisoned-count guard as BATCH.
+            if n > MAX_FRAME / 8 {
+                return Err(ProtoError::TooLarge {
+                    what: "scan item count",
+                    len: n,
+                });
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = c.bytes("scan item key")?;
+                let v = c.bytes("scan item value")?;
+                items.push((k, v));
+            }
+            Response::Scan { items, more }
+        }
         t => return Err(ProtoError::BadTag(t)),
     };
     c.done("trailing response bytes")?;
@@ -468,6 +564,18 @@ mod tests {
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Ping { sync: true });
         roundtrip_req(Request::Ping { sync: false });
+        roundtrip_req(Request::Scan {
+            start: b"a".to_vec(),
+            end: b"z".to_vec(),
+            limit: 128,
+            resume_after: None,
+        });
+        roundtrip_req(Request::Scan {
+            start: vec![],
+            end: vec![],
+            limit: u32::MAX,
+            resume_after: Some(b"k00042".to_vec()),
+        });
     }
 
     #[test]
@@ -483,6 +591,18 @@ mod tests {
         ]));
         roundtrip_resp(Response::Stats("{\"a\":1}".into()));
         roundtrip_resp(Response::Err("nope".into()));
+        roundtrip_resp(Response::Scan {
+            items: vec![],
+            more: false,
+        });
+        roundtrip_resp(Response::Scan {
+            items: vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), vec![7u8; 300]),
+                (vec![], vec![]),
+            ],
+            more: true,
+        });
     }
 
     #[test]
@@ -549,5 +669,51 @@ mod tests {
         let mut long = payload;
         long.push(0);
         assert!(decode_request(&long).is_err());
+    }
+
+    #[test]
+    fn scan_decode_rejects_truncation_and_bad_flags() {
+        let payload = encode_request(
+            3,
+            &Request::Scan {
+                start: b"aa".to_vec(),
+                end: b"zz".to_vec(),
+                limit: 10,
+                resume_after: Some(b"mm".to_vec()),
+            },
+        );
+        for cut in 1..payload.len() {
+            assert!(decode_request(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        // A resume flag outside {0, 1} is a bad tag.
+        let mut bad = payload.clone();
+        let flag_pos = payload.len() - 2 - 4 - 1; // before [len u32][key "mm"]
+        assert_eq!(bad[flag_pos], 1);
+        bad[flag_pos] = 9;
+        assert!(matches!(decode_request(&bad), Err(ProtoError::BadTag(9))));
+
+        let resp = encode_response(
+            4,
+            &Response::Scan {
+                items: vec![(b"k".to_vec(), b"v".to_vec())],
+                more: false,
+            },
+        );
+        for cut in 1..resp.len() {
+            assert!(decode_response(&resp[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = resp.clone();
+        trailing.push(0);
+        assert!(decode_response(&trailing).is_err());
+        // A poisoned item count must be rejected before allocation.
+        let mut poisoned = Vec::new();
+        poisoned.extend_from_slice(&4u64.to_le_bytes());
+        poisoned.push(ST_SCAN);
+        poisoned.push(0);
+        poisoned.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_response(&poisoned),
+            Err(ProtoError::TooLarge { .. })
+        ));
     }
 }

@@ -56,6 +56,15 @@ impl Default for ServerConfig {
     }
 }
 
+/// Hard per-page item cap for SCAN responses: a client cannot ask one
+/// frame to carry more than this many pairs.
+pub const MAX_SCAN_PAGE: usize = 4096;
+
+/// Soft per-page byte budget for SCAN responses, kept well under
+/// [`crate::protocol::MAX_FRAME`] so a page of maximum-size values still
+/// frames (the page is cut early once the budget is crossed).
+pub const MAX_SCAN_BYTES: usize = 4 << 20;
+
 /// Route `key` to one of `n` shards (stable FNV-1a 64 hash — must not
 /// change across restarts, or recovered shards would serve wrong keys).
 pub fn shard_for_key(key: &[u8], n: usize) -> usize {
@@ -420,6 +429,76 @@ fn dispatch(shared: &Arc<ServerShared>, id: u64, req: Request, reply: &ReplySend
                 }
             }
             reply.send(id, &Response::Ok);
+        }
+        Request::Scan {
+            start,
+            end,
+            limit,
+            resume_after,
+        } => {
+            obs.scans.inc();
+            let started = Instant::now();
+            // Scans are reads: serve inline like GETs, off each shard's
+            // contention-free scan path. Shard routing hashes keys, so a
+            // key range scatters across every shard — fan out, merge by
+            // key (each key lives on exactly one shard), page the result.
+            let page = (limit as usize).min(MAX_SCAN_PAGE);
+            let eff_start = match resume_after {
+                // Continuation is exclusive: resume at the successor of
+                // the last delivered key (`key ++ 0x00` in byte order).
+                Some(mut k) => {
+                    k.push(0);
+                    if k > start {
+                        k
+                    } else {
+                        start
+                    }
+                }
+                None => start,
+            };
+            // `page + 1` per shard: enough to fill the page from any one
+            // shard and still detect that the range continues past it.
+            let mut merged: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            let mut err = None;
+            for shard in &shared.shards {
+                match shard.store().scan(&eff_start, &end, page + 1) {
+                    Ok(items) => merged.extend(items),
+                    Err(e) => {
+                        err = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+            let resp = match err {
+                Some(e) => {
+                    obs.errors.inc();
+                    Response::Err(e)
+                }
+                None => {
+                    merged.sort_by(|a, b| a.0.cmp(&b.0));
+                    // Truncate to the page, and further to the byte budget
+                    // so the response frame stays well under MAX_FRAME —
+                    // but always deliver at least one item (progress).
+                    let mut cut = merged.len().min(page);
+                    let mut bytes = 0usize;
+                    for (i, (k, v)) in merged.iter().take(cut).enumerate() {
+                        bytes += k.len() + v.len() + 8;
+                        if bytes > MAX_SCAN_BYTES && i > 0 {
+                            cut = i;
+                            break;
+                        }
+                    }
+                    let more = merged.len() > cut;
+                    merged.truncate(cut);
+                    obs.scan_items.add(merged.len() as u64);
+                    Response::Scan {
+                        items: merged,
+                        more,
+                    }
+                }
+            };
+            obs.scan_ns.record(started.elapsed().as_nanos() as u64);
+            reply.send(id, &resp);
         }
     }
 }

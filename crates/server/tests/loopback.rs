@@ -370,6 +370,115 @@ fn tcp_transport_smoke() {
 }
 
 #[test]
+fn scan_merges_shards_and_pages_match_one_shot() {
+    let (server, transport) = start_loopback(2, ServerConfig::default());
+    let c = client(&transport);
+
+    // Populate via batches (keys hash across both shards), then delete a
+    // stripe so the wire scan must also suppress tombstones.
+    let skey = |i: u32| format!("sk{i:05}").into_bytes();
+    let sval = |i: u32| format!("val-{i}").into_bytes();
+    let mut expected = std::collections::BTreeMap::new();
+    for chunk in (0..300u32).collect::<Vec<_>>().chunks(100) {
+        let ops = chunk
+            .iter()
+            .map(|&i| BatchOp::Put {
+                key: skey(i),
+                value: sval(i),
+            })
+            .collect();
+        c.batch(ops).unwrap();
+    }
+    for i in 0..300u32 {
+        expected.insert(skey(i), sval(i));
+    }
+    for i in (0..300u32).step_by(7) {
+        c.delete(&skey(i)).unwrap();
+        expected.remove(&skey(i));
+    }
+    let want: Vec<(Vec<u8>, Vec<u8>)> = expected
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+
+    // One-shot unbounded scan: the cross-shard merge in sorted order.
+    let (one_shot, more) = c.scan(b"", b"", 10_000, None).unwrap();
+    assert!(!more, "300 keys fit one page");
+    assert_eq!(one_shot, want, "one-shot scan diverged from the model");
+
+    // Paged with a tiny limit, following continuation cursors: the
+    // concatenated pages must be byte-identical to the one-shot scan.
+    let mut paged: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut resume: Option<Vec<u8>> = None;
+    loop {
+        let (items, more) = c.scan(b"", b"", 7, resume.as_deref()).unwrap();
+        assert!(items.len() <= 7);
+        paged.extend(items);
+        if !more {
+            break;
+        }
+        resume = Some(paged.last().unwrap().0.clone());
+    }
+    assert_eq!(paged, one_shot, "paged scan diverged from one-shot");
+
+    // Bounded range with a truncating limit: `more` flags the cut.
+    let (bounded, more) = c.scan(&skey(50), &skey(150), 20, None).unwrap();
+    let want_bounded: Vec<(Vec<u8>, Vec<u8>)> = expected
+        .range(skey(50)..skey(150))
+        .take(20)
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    assert_eq!(bounded, want_bounded);
+    assert!(more, "the range holds more than 20 keys");
+
+    // Inverted and empty ranges come back empty, not as errors.
+    let (empty, more) = c.scan(&skey(200), &skey(100), 100, None).unwrap();
+    assert!(empty.is_empty() && !more);
+
+    let obs = server.obs();
+    assert!(obs.scans.get() >= 3);
+    assert!(obs.scan_items.get() >= one_shot.len() as u64);
+    c.close();
+    server.shutdown();
+}
+
+#[test]
+fn remote_store_scan_follows_continuations_past_the_page_cap() {
+    let (server, transport) = start_loopback(1, ServerConfig::default());
+    let c = Arc::new(client(&transport));
+    let remote: Arc<dyn KvStore> = Arc::new(RemoteStore::new(c.clone()));
+
+    // More keys than MAX_SCAN_PAGE, so one unbounded RemoteStore scan must
+    // transparently follow at least one continuation cursor.
+    let n = (cachekv_server::MAX_SCAN_PAGE + 200) as u32;
+    let skey = |i: u32| format!("pg{i:06}").into_bytes();
+    for chunk in (0..n).collect::<Vec<_>>().chunks(500) {
+        let ops = chunk
+            .iter()
+            .map(|&i| BatchOp::Put {
+                key: skey(i),
+                value: format!("v{i}").into_bytes(),
+            })
+            .collect();
+        c.batch(ops).unwrap();
+    }
+    let all = remote.scan(b"", b"", usize::MAX).unwrap();
+    assert_eq!(all.len(), n as usize);
+    for (i, (k, v)) in all.iter().enumerate() {
+        assert_eq!(k, &skey(i as u32), "key {i} out of place");
+        assert_eq!(v, format!("v{i}").as_bytes());
+    }
+    assert!(
+        server.obs().scans.get() >= 2,
+        "a scan past the page cap must take multiple SCAN requests"
+    );
+    // A limited scan is the same stream truncated.
+    let first = remote.scan(b"", b"", 10).unwrap();
+    assert_eq!(first, all[..10]);
+    server.shutdown();
+}
+
+#[test]
 fn workload_drivers_run_against_remote_store() {
     let (server, transport) = start_loopback(2, ServerConfig::default());
     let remote: Arc<dyn KvStore> = Arc::new(RemoteStore::new(Arc::new(client(&transport))));

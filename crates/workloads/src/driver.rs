@@ -221,6 +221,10 @@ pub fn run_ycsb_with_latency(
                             store.put(&kbuf, &vbuf).expect("ycsb rmw write");
                             lat.push(put_start.elapsed().as_nanos() as u64);
                         }
+                        YcsbOp::Scan => {
+                            let len = spec.next_scan_len();
+                            let _ = store.scan(&kbuf, &[], len as usize).expect("ycsb scan");
+                        }
                     }
                 }
                 lat
@@ -295,6 +299,12 @@ pub fn run_ycsb(
                             let _ = store.get(&kbuf).expect("ycsb rmw read");
                             value.value_into(id.wrapping_add(1), &mut vbuf);
                             store.put(&kbuf, &vbuf).expect("ycsb rmw write");
+                        }
+                        YcsbOp::Scan => {
+                            // Scan length keys from the drawn start key
+                            // onward (YCSB-E: unbounded end, limit = len).
+                            let len = spec.next_scan_len();
+                            let _ = store.scan(&kbuf, &[], len as usize).expect("ycsb scan");
                         }
                     }
                 }

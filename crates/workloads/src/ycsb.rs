@@ -9,6 +9,9 @@ pub enum YcsbOp {
     Update,
     Insert,
     ReadModifyWrite,
+    /// Range scan starting at the drawn key (length drawn separately via
+    /// [`YcsbSpec::next_scan_len`]).
+    Scan,
 }
 
 /// The request distribution a workload draws keys from.
@@ -32,19 +35,22 @@ pub enum YcsbWorkload {
     C,
     /// 95% reads of latest / 5% inserts, Latest.
     D,
+    /// 95% scans / 5% inserts, Zipfian(0.99) start keys, uniform lengths.
+    E,
     /// 50% reads / 50% read-modify-writes, Zipfian(0.99).
     F,
 }
 
 impl YcsbWorkload {
-    /// All six, in the paper's presentation order.
-    pub fn all() -> [YcsbWorkload; 6] {
+    /// All seven, in YCSB's presentation order.
+    pub fn all() -> [YcsbWorkload; 7] {
         [
             YcsbWorkload::Load,
             YcsbWorkload::A,
             YcsbWorkload::B,
             YcsbWorkload::C,
             YcsbWorkload::D,
+            YcsbWorkload::E,
             YcsbWorkload::F,
         ]
     }
@@ -57,19 +63,21 @@ impl YcsbWorkload {
             YcsbWorkload::B => "YCSB-B",
             YcsbWorkload::C => "YCSB-C",
             YcsbWorkload::D => "YCSB-D",
+            YcsbWorkload::E => "YCSB-E",
             YcsbWorkload::F => "YCSB-F",
         }
     }
 
-    /// `(read%, update%, insert%, rmw%)`.
-    pub fn mix(&self) -> (u32, u32, u32, u32) {
+    /// `(read%, update%, insert%, rmw%, scan%)`.
+    pub fn mix(&self) -> (u32, u32, u32, u32, u32) {
         match self {
-            YcsbWorkload::Load => (0, 0, 100, 0),
-            YcsbWorkload::A => (50, 50, 0, 0),
-            YcsbWorkload::B => (95, 5, 0, 0),
-            YcsbWorkload::C => (100, 0, 0, 0),
-            YcsbWorkload::D => (95, 0, 5, 0),
-            YcsbWorkload::F => (50, 0, 0, 50),
+            YcsbWorkload::Load => (0, 0, 100, 0, 0),
+            YcsbWorkload::A => (50, 50, 0, 0, 0),
+            YcsbWorkload::B => (95, 5, 0, 0, 0),
+            YcsbWorkload::C => (100, 0, 0, 0, 0),
+            YcsbWorkload::D => (95, 0, 5, 0, 0),
+            YcsbWorkload::E => (0, 0, 5, 0, 95),
+            YcsbWorkload::F => (50, 0, 0, 50, 0),
         }
     }
 
@@ -117,10 +125,11 @@ impl YcsbSpec {
         }
     }
 
-    /// Draw the next `(op, key id)` pair.
+    /// Draw the next `(op, key id)` pair. For [`YcsbOp::Scan`] the id is
+    /// the scan's start key.
     pub fn next_op(&mut self) -> (YcsbOp, u64) {
         use rand::Rng;
-        let (r, u, i, _f) = self.workload.mix();
+        let (r, u, i, f, _s) = self.workload.mix();
         let roll: u32 = self.rng.gen_range(0..100);
         if roll < r {
             (YcsbOp::Read, self.dist.next_id())
@@ -132,9 +141,18 @@ impl YcsbSpec {
             self.population += 1;
             self.dist.grow(self.population);
             (YcsbOp::Insert, id)
-        } else {
+        } else if roll < r + u + i + f {
             (YcsbOp::ReadModifyWrite, self.dist.next_id())
+        } else {
+            (YcsbOp::Scan, self.dist.next_id())
         }
+    }
+
+    /// Scan length for the next [`YcsbOp::Scan`]: uniform in `1..=100`,
+    /// YCSB-E's standard `max_scan_length`.
+    pub fn next_scan_len(&mut self) -> u64 {
+        use rand::Rng;
+        self.rng.gen_range(1..101)
     }
 }
 
@@ -207,8 +225,25 @@ mod tests {
     #[test]
     fn names_and_mixes_are_consistent() {
         for w in YcsbWorkload::all() {
-            let (r, u, i, f) = w.mix();
-            assert_eq!(r + u + i + f, 100, "{}", w.name());
+            let (r, u, i, f, s) = w.mix();
+            assert_eq!(r + u + i + f + s, 100, "{}", w.name());
         }
+    }
+
+    #[test]
+    fn e_is_mostly_scans_with_bounded_lengths() {
+        let c = mix_of(YcsbWorkload::E, 10_000);
+        let scans = c.get(&YcsbOp::Scan).copied().unwrap_or(0);
+        let inserts = c.get(&YcsbOp::Insert).copied().unwrap_or(0);
+        assert_eq!(scans + inserts, 10_000);
+        assert!((9_200..9_800).contains(&scans), "scans {scans}");
+
+        let mut spec = YcsbSpec::new(YcsbWorkload::E, 10_000, 0);
+        for _ in 0..1_000 {
+            let len = spec.next_scan_len();
+            assert!((1..=100).contains(&len), "scan length {len}");
+        }
+        assert_eq!(YcsbWorkload::E.dist(), RequestDist::Zipfian);
+        assert!(YcsbWorkload::E.needs_load_phase());
     }
 }

@@ -12,6 +12,8 @@
 //! ```text
 //! put <key> <value>    insert or overwrite (acked after group commit)
 //! get <key>            point lookup
+//! scan <start> <end> [limit]   range scan, merged across shards
+//!                      (`-` = unbounded end; pages follow automatically)
 //! del <key>            delete (alias: delete)
 //! ping                 liveness probe; `ping sync` also drains + quiesces
 //! stats                server counters + per-shard device summaries
@@ -152,6 +154,48 @@ fn main() {
                 },
                 None => println!("usage: get <key>"),
             },
+            Some("scan") => match (parts.next(), parts.next()) {
+                (Some(start), Some(end)) => {
+                    let limit: usize = match parts.next().map(str::parse) {
+                        Some(Ok(n)) => n,
+                        Some(Err(_)) => {
+                            println!("usage: scan <start> <end|-> [limit]");
+                            continue;
+                        }
+                        None => usize::MAX,
+                    };
+                    // `-` means unbounded; pages are followed via the
+                    // continuation cursor, exactly like RemoteStore::scan.
+                    let end: &[u8] = if end == "-" { b"" } else { end.as_bytes() };
+                    let mut shown = 0usize;
+                    let mut resume: Option<Vec<u8>> = None;
+                    loop {
+                        let want = (limit - shown).min(u32::MAX as usize) as u32;
+                        match client.scan(start.as_bytes(), end, want, resume.as_deref()) {
+                            Ok((items, more)) => {
+                                for (k, v) in &items {
+                                    println!(
+                                        "{} = {}",
+                                        String::from_utf8_lossy(k),
+                                        String::from_utf8_lossy(v)
+                                    );
+                                }
+                                shown += items.len();
+                                if !more || shown >= limit {
+                                    break;
+                                }
+                                resume = items.last().map(|(k, _)| k.clone());
+                            }
+                            Err(e) => {
+                                println!("error: {e}");
+                                break;
+                            }
+                        }
+                    }
+                    println!("({shown} keys)");
+                }
+                _ => println!("usage: scan <start> <end|-> [limit]"),
+            },
             Some("del") | Some("delete") => match parts.next() {
                 Some(k) => match client.delete(k.as_bytes()) {
                     Ok(()) => println!("ok"),
@@ -211,7 +255,7 @@ fn main() {
             }
             Some("help") => {
                 println!(
-                    "put <k> <v> | get <k> | del <k> | ping [sync] | stats | snap | crash | quit"
+                    "put <k> <v> | get <k> | scan <lo> <hi|-> [n] | del <k> | ping [sync] | stats | snap | crash | quit"
                 )
             }
             Some("quit") | Some("exit") => break,

@@ -16,6 +16,9 @@ enum Op {
     Put(u16, u8),
     Delete(u16),
     Get(u16),
+    /// Range scan `[lo, hi)` with a limit; `hi = None` is unbounded.
+    /// `lo >= hi` must come back empty, not error.
+    Scan(u16, Option<u16>, u8),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -23,6 +26,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         3 => (0u16..300, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
         1 => (0u16..300).prop_map(Op::Delete),
         2 => (0u16..300).prop_map(Op::Get),
+        2 => (0u16..320, 0u16..340, 0u8..20)
+            .prop_map(|(lo, hi, n)| Op::Scan(lo, (hi < 320).then_some(hi), n)),
     ]
 }
 
@@ -41,7 +46,30 @@ fn hier() -> Arc<Hierarchy> {
     Arc::new(Hierarchy::new(dev, CacheConfig::paper()))
 }
 
+/// What the model says `scan(lo, hi, limit)` must return. Empty `hi` is
+/// unbounded; an inverted range is empty.
+fn model_scan(
+    model: &BTreeMap<Vec<u8>, Vec<u8>>,
+    lo: &[u8],
+    hi: &[u8],
+    limit: usize,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let iter: Box<dyn Iterator<Item = (&Vec<u8>, &Vec<u8>)>> = if hi.is_empty() {
+        Box::new(model.range(lo.to_vec()..))
+    } else if lo < hi {
+        Box::new(model.range(lo.to_vec()..hi.to_vec()))
+    } else {
+        Box::new(std::iter::empty())
+    };
+    iter.take(limit)
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
 fn check_against_model(store: &dyn KvStore, ops: &[Op], vlen: usize) {
+    // Baselines without a native scan keep the trait's "unsupported"
+    // default; the oracle only drives stores that answer.
+    let scan_supported = store.scan(b"", b"", 1).is_ok();
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
     for op in ops {
         match op {
@@ -62,6 +90,20 @@ fn check_against_model(store: &dyn KvStore, ops: &[Op], vlen: usize) {
                     store.name()
                 );
             }
+            Op::Scan(a, b, n) => {
+                if !scan_supported {
+                    continue;
+                }
+                let lo = key(*a);
+                let hi = b.map(key).unwrap_or_default();
+                let got = store.scan(&lo, &hi, *n as usize).unwrap();
+                assert_eq!(
+                    got,
+                    model_scan(&model, &lo, &hi, *n as usize),
+                    "{}: scan [{a}, {b:?}) limit {n}",
+                    store.name()
+                );
+            }
         }
     }
     // Final full sweep.
@@ -72,6 +114,15 @@ fn check_against_model(store: &dyn KvStore, ops: &[Op], vlen: usize) {
             got,
             model.get(&key(k)).cloned(),
             "{}: final key {k}",
+            store.name()
+        );
+    }
+    if scan_supported {
+        let got = store.scan(b"", b"", usize::MAX).unwrap();
+        assert_eq!(
+            got,
+            model_scan(&model, b"", b"", usize::MAX),
+            "{}: final full scan",
             store.name()
         );
     }
@@ -143,7 +194,7 @@ proptest! {
                         db.delete(&key(*k)).unwrap();
                         model.remove(&key(*k));
                     }
-                    Op::Get(_) => {}
+                    Op::Get(_) | Op::Scan(..) => {}
                 }
             }
             db.quiesce();
@@ -154,5 +205,8 @@ proptest! {
             let got = db.get(&key(k)).unwrap();
             prop_assert_eq!(got, model.get(&key(k)).cloned(), "post-crash key {}", k);
         }
+        // Post-recovery scans agree with post-recovery gets.
+        let got = db.scan(b"", b"", usize::MAX).unwrap();
+        prop_assert_eq!(got, model_scan(&model, b"", b"", usize::MAX), "post-crash scan");
     }
 }
