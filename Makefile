@@ -49,6 +49,9 @@ bench-smoke:
 		$(CARGO) bench -p cachekv-bench --bench fig_scan
 	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
 		CACHEKV_AB_DIR=$(CURDIR)/target/metrics \
+		$(CARGO) bench -p cachekv-bench --bench server_cache
+	CACHEKV_OPS=2000 CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
+		CACHEKV_AB_DIR=$(CURDIR)/target/metrics \
 		$(CARGO) bench -p cachekv-bench --bench write_ab
 	CACHEKV_METRICS_DIR=$(CURDIR)/target/metrics \
 		$(CARGO) run -q -p cachekv-bench --bin validate_metrics -- \
@@ -56,4 +59,5 @@ bench-smoke:
 		$(CURDIR)/target/metrics/fig11_read_throughput.json \
 		$(CURDIR)/target/metrics/server_loopback.json \
 		$(CURDIR)/target/metrics/fig_scan.json \
+		$(CURDIR)/target/metrics/server_cache.json \
 		$(CURDIR)/target/metrics/write_ab.json

@@ -1,0 +1,278 @@
+//! Interleaved A/B bench for the hot-key cache tier: high-skew Zipfian
+//! GETs through the loopback server path, cache off vs cache on.
+//!
+//! **baseline** builds the server with the cache tier compiled out
+//! (`HotCacheConfig::disabled()`): every GET probes the engine. **after**
+//! is the shipped configuration: a 64 MiB round-invalidated hot cache in
+//! front of the engine, so the Zipfian head is served from a replica slab
+//! without touching the store. Both servers stay loaded for the whole run
+//! and measurement trials alternate arm order (A,B then B,A, …) so drift
+//! lands on both arms equally; the summary reports per-arm medians.
+//!
+//! Emits `BENCH_CACHE_BASELINE.json` / `BENCH_CACHE_AFTER.json` into
+//! `$CACHEKV_AB_DIR` (default: the working directory) with per-trial
+//! throughput and GET p50/p99, plus a `server_cache` MetricsSink artifact
+//! whose `cache-on` / `cache-off` labels `validate_metrics` checks for a
+//! positive (respectively exactly-zero) hit count.
+
+use cachekv_bench::{banner, build, row, BenchScale, Instance, MetricsSink, SystemKind};
+use cachekv_lsm::KvStore;
+use cachekv_obs::Json;
+use cachekv_server::{
+    HotCacheConfig, KvClient, KvServer, LoopbackTransport, RemoteStore, ServerConfig,
+};
+use cachekv_workloads::{driver, run_ops_with_latency, DbBench, KeyGen, ValueGen};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SHARDS: usize = 2;
+const THREADS: usize = 4;
+const TRIALS: usize = 5;
+const VALUE_BYTES: usize = 100;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    /// Cache tier absent: every GET crosses to the engine.
+    Baseline,
+    /// Hot-key cache in front of the GET path (the shipped default).
+    After,
+}
+
+impl Variant {
+    fn name(self) -> &'static str {
+        match self {
+            Variant::Baseline => "cache-off",
+            Variant::After => "cache-on",
+        }
+    }
+
+    fn artifact(self) -> &'static str {
+        match self {
+            Variant::Baseline => "BASELINE",
+            Variant::After => "AFTER",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Variant::Baseline => 0,
+            Variant::After => 1,
+        }
+    }
+
+    fn cache(self) -> HotCacheConfig {
+        match self {
+            Variant::Baseline => HotCacheConfig::disabled(),
+            Variant::After => HotCacheConfig::with_capacity(64 << 20),
+        }
+    }
+}
+
+/// One arm's standing service: engines, server, and a shared pipelined
+/// client wrapped as a [`KvStore`] for the workload driver.
+struct Arm {
+    insts: Vec<Instance>,
+    server: KvServer,
+    remote: Arc<dyn KvStore>,
+}
+
+fn build_arm(v: Variant, scale: &BenchScale, key: &KeyGen, value: &ValueGen) -> Arm {
+    let insts: Vec<Instance> = (0..SHARDS)
+        .map(|_| build(SystemKind::CacheKv, scale))
+        .collect();
+    let stores: Vec<Arc<dyn KvStore>> = insts.iter().map(|i| i.store.clone()).collect();
+    let transport = LoopbackTransport::new();
+    let cfg = ServerConfig {
+        cache: v.cache(),
+        ..ServerConfig::default()
+    };
+    let server = KvServer::start(stores, transport.clone(), cfg);
+    let client = Arc::new(KvClient::connect(
+        transport.connect().expect("loopback dial"),
+    ));
+    let remote: Arc<dyn KvStore> = Arc::new(RemoteStore::new(client));
+    driver::fill(&remote, scale.keyspace, key, value);
+    remote.quiesce();
+    Arm {
+        insts,
+        server,
+        remote,
+    }
+}
+
+/// Per-trial numbers for one arm.
+#[derive(Default)]
+struct Series {
+    kops: Vec<f64>,
+    p50_ns: Vec<u64>,
+    p99_ns: Vec<u64>,
+}
+
+impl Series {
+    fn median_kops(&self) -> f64 {
+        let mut v = self.kops.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v.get(v.len() / 2).copied().unwrap_or(0.0)
+    }
+
+    fn median_p99(&self) -> u64 {
+        let mut v = self.p99_ns.clone();
+        v.sort_unstable();
+        v.get(v.len() / 2).copied().unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "kops",
+                Json::Arr(self.kops.iter().map(|k| Json::Num(*k)).collect()),
+            ),
+            (
+                "get_p50_ns",
+                Json::Arr(self.p50_ns.iter().map(|n| Json::UInt(*n)).collect()),
+            ),
+            (
+                "get_p99_ns",
+                Json::Arr(self.p99_ns.iter().map(|n| Json::UInt(*n)).collect()),
+            ),
+            ("kops_median", Json::Num(self.median_kops())),
+            ("get_p99_ns_median", Json::UInt(self.median_p99())),
+        ])
+    }
+}
+
+fn ab_dir() -> PathBuf {
+    std::env::var("CACHEKV_AB_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn write_artifact(v: Variant, scale: &BenchScale, zipf: &Series, hit_rate: f64) {
+    let doc = Json::obj(vec![
+        ("variant", Json::Str(v.name().to_string())),
+        ("ops", Json::UInt(scale.ops)),
+        ("trials", Json::UInt(TRIALS as u64)),
+        ("value_bytes", Json::UInt(VALUE_BYTES as u64)),
+        ("cache_hit_rate", Json::Num(hit_rate)),
+        ("read_zipfian", zipf.to_json()),
+    ]);
+    let path = ab_dir().join(format!("BENCH_CACHE_{}.json", v.artifact()));
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => println!("(A/B artifact: {})", path.display()),
+        Err(e) => eprintln!("server_cache: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn main() {
+    let scale = BenchScale::default();
+    let key = KeyGen::paper();
+    let value = ValueGen::new(VALUE_BYTES);
+    let mut sink = MetricsSink::new("server_cache");
+
+    banner(
+        "Service (cache A/B)",
+        &format!(
+            "Zipfian GETs over loopback — {SHARDS} shards, {THREADS} client threads, \
+             hot cache off vs on, {} reads x {TRIALS} interleaved trials",
+            scale.ops
+        ),
+    );
+
+    let arms = [
+        build_arm(Variant::Baseline, &scale, &key, &value),
+        build_arm(Variant::After, &scale, &key, &value),
+    ];
+    let mut zipf = [Series::default(), Series::default()];
+
+    let ops_per_thread = (scale.ops / THREADS as u64).max(1);
+    for trial in 0..TRIALS {
+        // Alternate which arm measures first each trial so machine drift
+        // lands on both arms equally.
+        let order = if trial % 2 == 0 {
+            [Variant::Baseline, Variant::After]
+        } else {
+            [Variant::After, Variant::Baseline]
+        };
+        for &v in &order {
+            let arm = &arms[v.index()];
+            let (m, lat) = run_ops_with_latency(
+                &arm.remote,
+                DbBench::ReadZipfian,
+                scale.keyspace,
+                ops_per_thread,
+                THREADS,
+                &key,
+                &value,
+            );
+            zipf[v.index()].kops.push(m.kops());
+            zipf[v.index()].p50_ns.push(lat.p50());
+            zipf[v.index()].p99_ns.push(lat.p99());
+            sink.record_measurement(
+                &format!("CacheKV-server/{}/readzipfian/t{trial}", v.name()),
+                m.kops(),
+                lat.p50(),
+                lat.p99(),
+            );
+        }
+    }
+
+    let mut hit_rates = [0.0f64; 2];
+    for &v in &[Variant::Baseline, Variant::After] {
+        let arm = &arms[v.index()];
+        arm.remote.quiesce();
+        let export = arm.server.obs().registry.export();
+        let hits = export.counters["server.cache.hits"];
+        let misses = export.counters["server.cache.misses"];
+        let probes = hits + misses;
+        hit_rates[v.index()] = if probes == 0 {
+            0.0
+        } else {
+            hits as f64 / probes as f64
+        };
+        row(
+            v.name(),
+            &[
+                format!("{:.1} kops", zipf[v.index()].median_kops()),
+                format!("get p99 {:.1} µs", us(zipf[v.index()].median_p99())),
+                format!("{:.1}% hit rate", hit_rates[v.index()] * 100.0),
+                format!(
+                    "{} invalidations",
+                    export.counters["server.cache.invalidations"]
+                ),
+            ],
+        );
+        // The A/B is only meaningful if the arms behave as labeled.
+        match v {
+            Variant::Baseline => assert_eq!(hits, 0, "disabled cache served a hit"),
+            Variant::After => assert!(hits > 0, "Zipfian read phase never hit the cache"),
+        }
+        assert_eq!(
+            export.counters["server.cache.tripwire"], 0,
+            "cache coherence tripwire fired"
+        );
+        sink.record_json(
+            &format!("CacheKV-server/{}/readzipfian", v.name()),
+            &arm.server.merged_snapshot_json(),
+        );
+        for (i, inst) in arm.insts.iter().enumerate() {
+            sink.record(&format!("CacheKV/{}/shard{i}", v.name()), inst);
+        }
+        write_artifact(v, &scale, &zipf[v.index()], hit_rates[v.index()]);
+    }
+
+    println!(
+        "get p99: {:.1} µs (cache off) -> {:.1} µs (cache on), hit rate {:.1}%",
+        us(zipf[0].median_p99()),
+        us(zipf[1].median_p99()),
+        hit_rates[1] * 100.0,
+    );
+
+    sink.write();
+    for arm in arms {
+        arm.server.shutdown();
+    }
+}

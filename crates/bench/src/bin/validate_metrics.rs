@@ -53,6 +53,11 @@ fn validate(path: &std::path::Path) {
     let mut core_scan_items = 0u64;
     let mut server_scans = 0u64;
     let mut server_scan_items = 0u64;
+    // Hot-key cache A/B accounting (cache artifacts must prove the enabled
+    // arm hit and the disabled arm stayed exactly cold).
+    let mut cache_on_hits = 0u64;
+    let mut cache_on_labels = 0usize;
+    let mut cache_off_labels = 0usize;
     for (label, entry) in systems {
         // Every entry must be a full StatsSnapshot document.
         let snap = StatsSnapshot::from_json(entry)
@@ -78,6 +83,33 @@ fn validate(path: &std::path::Path) {
             if locks != 0 {
                 fail(&format!(
                     "{label}: read path took {locks} CoreSlot locks (must be 0)"
+                ));
+            }
+        }
+        // Hot-cache coherence tripwire: any snapshot carrying it must
+        // report zero — a nonzero count means a cached value survived past
+        // a round publication it should not have.
+        if let Some(&trip) = snap.memory.counters.get("server.cache.tripwire") {
+            if trip != 0 {
+                fail(&format!(
+                    "{label}: cache coherence tripwire fired {trip} times (must be 0)"
+                ));
+            }
+        }
+        let label_cache_hits = snap
+            .memory
+            .counters
+            .get("server.cache.hits")
+            .copied()
+            .unwrap_or(0);
+        if label.contains("cache-on") {
+            cache_on_labels += 1;
+            cache_on_hits += label_cache_hits;
+        } else if label.contains("cache-off") {
+            cache_off_labels += 1;
+            if label_cache_hits != 0 {
+                fail(&format!(
+                    "{label}: disabled cache reported {label_cache_hits} hits (must be 0)"
                 ));
             }
         }
@@ -279,6 +311,17 @@ fn validate(path: &std::path::Path) {
             if total == 0 {
                 fail(&format!("scan figure: {name} never fired across labels"));
             }
+        }
+    }
+    // Cache A/B artifacts must carry both arms, with the Zipfian phase
+    // actually hitting on the enabled arm (the disabled arm's exact-zero
+    // check ran per-label above).
+    if fig.contains("cache") {
+        if cache_on_labels == 0 || cache_off_labels == 0 {
+            fail("cache figure: missing cache-on and/or cache-off labels");
+        }
+        if cache_on_hits == 0 {
+            fail("cache figure: server.cache.hits is zero across cache-on labels");
         }
     }
     // Server artifacts must contain at least one merged server snapshot

@@ -1,9 +1,13 @@
 //! The sub-MemTable pool (Section III-A) with elasticity.
 //!
 //! A fixed cache-pinned region is carved into slots. The slot directory
-//! (count + per-slot geometry) is persisted in the pool's first 4 KiB so
+//! (count + per-slot geometry) is persisted in the pool's first 8 KiB so
 //! crash recovery can re-discover every sub-MemTable; slot *states* live in
-//! the slots' own packed headers.
+//! the slots' own packed headers. The directory is double-buffered: a
+//! rewrite (split/merge changes the geometry at runtime) fills the
+//! inactive copy, then publishes it with a single 8-byte header store, so
+//! a crash anywhere in the rewrite leaves a fully consistent copy behind
+//! — recovery never sees torn geometry.
 //!
 //! Elasticity: a `miss counter` tracks acquire failures. Past a threshold
 //! the pool halves a free sub-MemTable to raise slot count under bursty
@@ -16,9 +20,13 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Persistent directory header size.
-pub const DIR_BYTES: u64 = 4096;
+/// Persistent directory header size (8-byte publish word + two copies).
+pub const DIR_BYTES: u64 = 8192;
+/// Bytes available to each of the two directory copies.
+const DIR_COPY_BYTES: u64 = (DIR_BYTES - 8) / 2;
 const DIR_MAGIC: u32 = 0xCACE_4B56;
+/// Bit of the header's second word that names the active copy.
+const DIR_WHICH_BIT: u32 = 1 << 31;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
@@ -34,6 +42,9 @@ pub struct Pool {
     min_subtable: u64,
     slots: Mutex<Vec<Slot>>,
     freed: Condvar,
+    /// Which directory copy is currently published (0 or 1). Only read and
+    /// advanced under the `slots` lock (every rewrite holds it).
+    dir_which: AtomicU64,
     /// Times a core failed to find a free sub-MemTable (Section III-A).
     /// Reset whenever the elasticity threshold trips, so it is a *window*
     /// counter, not a lifetime one.
@@ -81,6 +92,7 @@ impl Pool {
             min_subtable,
             slots: Mutex::new(slots),
             freed: Condvar::new(),
+            dir_which: AtomicU64::new(1),
             miss_counter: AtomicU64::new(0),
             total_misses: AtomicU64::new(0),
             miss_threshold,
@@ -92,6 +104,8 @@ impl Pool {
             for s in slots.iter() {
                 pool.subtable_of(*s).reset_free();
             }
+            // write_directory flips to the inactive copy, so this first
+            // write lands in copy 0.
             pool.write_directory(&slots);
         }
         pool
@@ -153,14 +167,32 @@ impl Pool {
         hier.load(base, &mut hdr);
         let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
         assert_eq!(magic, DIR_MAGIC, "pool directory magic mismatch");
-        let count = u32::from_le_bytes(hdr[4..8].try_into().unwrap()) as usize;
-        let raw = hier.load_vec(base + 8, count * 16);
+        let word = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        let which = u64::from(word & DIR_WHICH_BIT != 0);
+        let count = (word & !DIR_WHICH_BIT) as usize;
+        let raw = hier.load_vec(Self::copy_base(base, which), count * 16);
         let slots: Vec<Slot> = (0..count)
             .map(|i| Slot {
                 base: u64::from_le_bytes(raw[i * 16..i * 16 + 8].try_into().unwrap()),
                 size: u64::from_le_bytes(raw[i * 16 + 8..i * 16 + 16].try_into().unwrap()),
             })
             .collect();
+        // The publish protocol makes a torn directory unreachable; check
+        // the geometry anyway so corruption fails loudly here, not as a
+        // wild access through a recovered SubTable.
+        for s in &slots {
+            assert!(
+                s.base >= base + DIR_BYTES
+                    && s.size > crate::subtable::DATA_OFF
+                    && s.base + s.size <= base + size,
+                "recovered slot directory names an invalid slot [{:#x}, +{:#x}) \
+                 in pool [{:#x}, +{:#x})",
+                s.base,
+                s.size,
+                base,
+                size
+            );
+        }
         Pool {
             hier,
             base,
@@ -168,6 +200,7 @@ impl Pool {
             min_subtable,
             slots: Mutex::new(slots),
             freed: Condvar::new(),
+            dir_which: AtomicU64::new(which),
             miss_counter: AtomicU64::new(0),
             total_misses: AtomicU64::new(0),
             miss_threshold,
@@ -176,16 +209,31 @@ impl Pool {
         }
     }
 
+    /// Base address of directory copy `which` (0 or 1).
+    fn copy_base(base: u64, which: u64) -> u64 {
+        base + 8 + which * DIR_COPY_BYTES
+    }
+
+    /// Persist the slot geometry crash-atomically: fill the inactive copy,
+    /// then publish it with a single 8-byte header store. A crash before
+    /// the publish leaves the previous copy active and intact.
     fn write_directory(&self, slots: &[Slot]) {
-        let mut b = Vec::with_capacity(8 + slots.len() * 16);
-        b.extend_from_slice(&DIR_MAGIC.to_le_bytes());
-        b.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+        let mut b = Vec::with_capacity(slots.len() * 16);
         for s in slots {
             b.extend_from_slice(&s.base.to_le_bytes());
             b.extend_from_slice(&s.size.to_le_bytes());
         }
-        assert!(b.len() as u64 <= DIR_BYTES, "slot directory overflow");
-        self.hier.store(self.base, &b);
+        assert!(b.len() as u64 <= DIR_COPY_BYTES, "slot directory overflow");
+        let which = self.dir_which.load(Ordering::Relaxed) ^ 1;
+        if !b.is_empty() {
+            self.hier.store(Self::copy_base(self.base, which), &b);
+        }
+        let word = slots.len() as u32 | if which == 1 { DIR_WHICH_BIT } else { 0 };
+        let mut hdr = [0u8; 8];
+        hdr[0..4].copy_from_slice(&DIR_MAGIC.to_le_bytes());
+        hdr[4..8].copy_from_slice(&word.to_le_bytes());
+        self.hier.store(self.base, &hdr);
+        self.dir_which.store(which, Ordering::Relaxed);
     }
 
     fn subtable_of(&self, s: Slot) -> SubTable {
@@ -498,6 +546,39 @@ mod tests {
             .map(|s| s.base)
             .collect();
         assert_eq!(allocated, vec![a_base]);
+    }
+
+    #[test]
+    fn split_geometry_survives_crash() {
+        let h = hier();
+        let layout;
+        {
+            let p = pool(&h);
+            p.split_one_free();
+            assert_eq!(p.slot_count(), 5);
+            layout = p.slot_layout();
+        }
+        h.power_fail();
+        let p = Pool::reattach(h.clone(), 0, DIR_BYTES + 4 * (16 << 10), 4 << 10, 2);
+        assert_eq!(p.slot_layout(), layout);
+    }
+
+    #[test]
+    fn unpublished_directory_rewrite_is_invisible_after_crash() {
+        // A crash mid-rewrite leaves garbage in the inactive copy but the
+        // publish word still naming the old one; recovery must read the
+        // old, consistent geometry.
+        let h = hier();
+        let layout_before;
+        {
+            let p = pool(&h);
+            layout_before = p.slot_layout();
+            let inactive = p.dir_which.load(Ordering::Relaxed) ^ 1;
+            h.store(Pool::copy_base(0, inactive), &[0xAAu8; 64]);
+        }
+        h.power_fail();
+        let p = Pool::reattach(h.clone(), 0, DIR_BYTES + 4 * (16 << 10), 4 << 10, 2);
+        assert_eq!(p.slot_layout(), layout_before);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `cachekv_serve` — run a sharded CacheKV service over TCP.
 //!
 //! ```sh
-//! cargo run --release -p cachekv-server --bin cachekv_serve -- [ADDR] [SHARDS]
-//! # defaults: 127.0.0.1:4840, 2 shards
+//! cargo run --release -p cachekv-server --bin cachekv_serve -- [ADDR] [SHARDS] [CACHE_MB]
+//! # defaults: 127.0.0.1:4840, 2 shards, 16 MiB hot-key cache (0 = off)
 //! ```
 //!
 //! Each shard is an independent simulated eADR device + cache hierarchy
@@ -14,7 +14,7 @@ use cachekv::{CacheKv, CacheKvConfig};
 use cachekv_cache::{CacheConfig, Hierarchy};
 use cachekv_lsm::KvStore;
 use cachekv_pmem::{PmemConfig, PmemDevice};
-use cachekv_server::{KvServer, ServerConfig, TcpTransport};
+use cachekv_server::{HotCacheConfig, KvServer, ServerConfig, TcpTransport};
 use std::io::BufRead;
 use std::sync::Arc;
 
@@ -25,6 +25,10 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("SHARDS must be a number"))
         .unwrap_or(2);
+    let cache_mb: usize = args
+        .next()
+        .map(|s| s.parse().expect("CACHE_MB must be a number"))
+        .unwrap_or(16);
 
     let stores: Vec<Arc<dyn KvStore>> = (0..shards)
         .map(|_| {
@@ -36,8 +40,19 @@ fn main() {
 
     let transport = TcpTransport::bind(&addr).expect("bind TCP listener");
     let local = transport.local_addr();
-    let server = KvServer::start(stores, transport, ServerConfig::default());
-    println!("cachekv_serve: {shards} shard(s) listening on {local}");
+    let cfg = ServerConfig {
+        cache: HotCacheConfig::with_capacity(cache_mb << 20),
+        ..ServerConfig::default()
+    };
+    let server = KvServer::start(stores, transport, cfg);
+    println!(
+        "cachekv_serve: {shards} shard(s) listening on {local}, hot cache {}",
+        if cache_mb == 0 {
+            "off".to_string()
+        } else {
+            format!("{cache_mb} MiB")
+        }
+    );
     println!("commands: stats | quit");
 
     let stdin = std::io::stdin();

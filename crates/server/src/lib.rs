@@ -23,6 +23,7 @@
 //! * [`obs`] — `server.*` counters, gauges, and latency histograms; the
 //!   STATS opcode returns them with per-shard engine snapshots.
 
+pub mod cache;
 pub mod client;
 pub mod obs;
 pub mod protocol;
@@ -30,6 +31,7 @@ pub mod server;
 pub mod shard;
 pub mod transport;
 
+pub use cache::{Admission, AdmissionKind, Eviction, EvictionKind, HotCache, HotCacheConfig};
 pub use client::{ClientError, KvClient, Pending, RemoteStore};
 pub use obs::ServerObs;
 pub use protocol::{BatchOp, BatchReply, Request, Response};

@@ -48,6 +48,26 @@ pub struct ServerObs {
     /// Submissions that blocked on a full shard queue (backpressure).
     pub backpressure_waits: Arc<Counter>,
 
+    // Hot-key cache tier (see `crate::cache`).
+    /// GETs served from a replica slab (no queue, no engine probe).
+    pub cache_hits: Arc<Counter>,
+    /// GETs that fell through to the engine.
+    pub cache_misses: Arc<Counter>,
+    /// Engine values installed into a slab after a miss.
+    pub cache_fills: Arc<Counter>,
+    /// Fills discarded because a commit round raced the engine read.
+    pub cache_fill_races: Arc<Counter>,
+    /// Fills rejected by the admission policy (victim was hotter).
+    pub cache_admission_rejects: Arc<Counter>,
+    /// Entries updated/removed by round publication or round-log checks.
+    pub cache_invalidations: Arc<Counter>,
+    /// Entries displaced by the byte cap.
+    pub cache_evictions: Arc<Counter>,
+    /// Coherence-invariant violations (must stay 0; tests assert on it).
+    pub cache_tripwire: Arc<Counter>,
+    /// Current cached bytes across every replica slab.
+    pub cache_bytes: Arc<Gauge>,
+
     // Connections.
     pub connections: Arc<Gauge>,
     pub connections_total: Arc<Counter>,
@@ -84,6 +104,15 @@ impl ServerObs {
             queue_depth_hist: registry.histogram("server.group_commit.queue_depth"),
             queue_depth: registry.gauge("server.queue_depth"),
             backpressure_waits: registry.counter("server.backpressure_waits"),
+            cache_hits: registry.counter("server.cache.hits"),
+            cache_misses: registry.counter("server.cache.misses"),
+            cache_fills: registry.counter("server.cache.fills"),
+            cache_fill_races: registry.counter("server.cache.fill_races"),
+            cache_admission_rejects: registry.counter("server.cache.admission_rejects"),
+            cache_invalidations: registry.counter("server.cache.invalidations"),
+            cache_evictions: registry.counter("server.cache.evictions"),
+            cache_tripwire: registry.counter("server.cache.tripwire"),
+            cache_bytes: registry.gauge("server.cache.bytes"),
             connections: registry.gauge("server.connections"),
             connections_total: registry.counter("server.connections_total"),
             bytes_in: registry.counter("server.bytes_in"),

@@ -18,6 +18,7 @@
 //! the transport. Shutdown stops accepting, force-closes connections, then
 //! drains every shard queue before returning.
 
+use crate::cache::{HotCache, HotCacheConfig};
 use crate::obs::ServerObs;
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, BatchOp, Request, Response,
@@ -44,6 +45,9 @@ pub struct ServerConfig {
     pub group_commit_max: usize,
     /// Connections beyond this are refused (closed on accept).
     pub max_connections: usize,
+    /// Hot-key cache tier in front of the GET path (see [`crate::cache`]).
+    /// `cache.capacity_bytes == 0` builds the server without the tier.
+    pub cache: HotCacheConfig,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +56,7 @@ impl Default for ServerConfig {
             shard_queue_cap: 256,
             group_commit_max: 32,
             max_connections: 64,
+            cache: HotCacheConfig::default(),
         }
     }
 }
@@ -101,6 +106,7 @@ impl ReplySender {
 
 struct ServerShared {
     shards: Vec<Shard>,
+    cache: Arc<HotCache>,
     obs: Arc<ServerObs>,
     transport: Arc<dyn Transport>,
     cfg: ServerConfig,
@@ -127,6 +133,7 @@ impl KvServer {
     ) -> KvServer {
         assert!(!stores.is_empty(), "server needs at least one shard");
         let obs = ServerObs::new();
+        let cache = HotCache::new(&cfg.cache, stores.len(), obs.clone());
         let shards = stores
             .into_iter()
             .enumerate()
@@ -137,11 +144,13 @@ impl KvServer {
                     cfg.shard_queue_cap,
                     cfg.group_commit_max,
                     obs.clone(),
+                    cache.clone(),
                 )
             })
             .collect();
         let shared = Arc::new(ServerShared {
             shards,
+            cache,
             obs,
             transport,
             cfg,
@@ -170,6 +179,11 @@ impl KvServer {
     /// The server's instruments (tests / benches).
     pub fn obs(&self) -> &Arc<ServerObs> {
         &self.shared.obs
+    }
+
+    /// The hot-key cache tier (runtime toggle, stats, tests).
+    pub fn cache(&self) -> &Arc<HotCache> {
+        &self.shared.cache
     }
 
     /// The STATS wire document: `server.*` metrics, each shard's full
@@ -334,14 +348,25 @@ fn dispatch(shared: &Arc<ServerShared>, id: u64, req: Request, reply: &ReplySend
             let started = Instant::now();
             // Reads bypass the queues entirely: the engine's read path is
             // contention-free, so serving inline gives GETs queue-free
-            // latency even while writes batch behind them.
-            let resp = match shared.shards[shard_for_key(&key, n)].store().get(&key) {
-                Ok(Some(v)) => Response::Value(v),
-                Ok(None) => Response::NotFound,
-                Err(e) => {
-                    obs.errors.inc();
-                    Response::Err(e.to_string())
-                }
+            // latency even while writes batch behind them. The hot-key
+            // cache sits in front of even that: a hit never touches the
+            // engine. The fill token must be captured before the engine
+            // read — it carries the round epoch that makes a racing
+            // group-commit round discard the fill.
+            let shard = shard_for_key(&key, n);
+            let resp = match shared.cache.probe(shard, &key) {
+                Ok(v) => Response::Value(v),
+                Err(fill) => match shared.shards[shard].store().get(&key) {
+                    Ok(Some(v)) => {
+                        shared.cache.fill(shard, &key, &v, fill);
+                        Response::Value(v)
+                    }
+                    Ok(None) => Response::NotFound,
+                    Err(e) => {
+                        obs.errors.inc();
+                        Response::Err(e.to_string())
+                    }
+                },
             };
             obs.get_ns.record(started.elapsed().as_nanos() as u64);
             reply.send(id, &resp);

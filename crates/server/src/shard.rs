@@ -14,6 +14,7 @@
 //! which backpressures the client — no unbounded buffering anywhere in the
 //! pipeline.
 
+use crate::cache::{key_hash, HotCache};
 use crate::obs::ServerObs;
 use crate::protocol::{BatchReply, Response};
 use crate::server::ReplySender;
@@ -146,6 +147,7 @@ struct ShardQueue {
 }
 
 struct ShardInner {
+    index: usize,
     store: Arc<dyn KvStore>,
     q: Mutex<ShardQueue>,
     not_empty: Condvar,
@@ -155,6 +157,7 @@ struct ShardInner {
     commit_max: usize,
     stop: AtomicBool,
     obs: Arc<ServerObs>,
+    cache: Arc<HotCache>,
 }
 
 /// A store shard plus its committer thread.
@@ -172,8 +175,10 @@ impl Shard {
         cap: usize,
         commit_max: usize,
         obs: Arc<ServerObs>,
+        cache: Arc<HotCache>,
     ) -> Shard {
         let inner = Arc::new(ShardInner {
+            index,
             store,
             q: Mutex::new(ShardQueue {
                 items: VecDeque::new(),
@@ -186,6 +191,7 @@ impl Shard {
             commit_max: commit_max.max(1),
             stop: AtomicBool::new(false),
             obs,
+            cache,
         });
         let committer = {
             let inner = inner.clone();
@@ -298,6 +304,19 @@ fn commit_round(inner: &Arc<ShardInner>, batch: Vec<Submission>) {
     let _ctx = cachekv_pmem::fault_context("server::group_commit");
     let store = &inner.store;
     let obs = &inner.obs;
+    // Publish the round's write-key bloom and move the shard's cache epoch
+    // to "round in progress" BEFORE any write applies: a GET racing the
+    // apply window then refuses cached entries for these keys rather than
+    // risk serving a value the engine has already superseded.
+    let write_hashes: Vec<u64> = batch
+        .iter()
+        .flat_map(|sub| sub.ops.iter())
+        .filter_map(|op| match op {
+            SubOp::Put { key, .. } | SubOp::Delete { key } => Some(key_hash(key)),
+            SubOp::Get { .. } => None,
+        })
+        .collect();
+    let round = inner.cache.round_begin(inner.index, &write_hashes);
     let mut entries = 0u64;
     let mut results: Vec<Vec<SubResult>> = Vec::with_capacity(batch.len());
     for sub in &batch {
@@ -333,6 +352,27 @@ fn commit_round(inner: &Arc<ShardInner>, batch: Vec<Submission>) {
             })
             .collect();
         results.push(rs);
+    }
+    // Round publication: push the applied values into (or delete them
+    // from) every cache replica and return the epoch to quiescent. This
+    // must complete before any ack below — that is what makes an acked
+    // write unshadowable by a stale cached value. Failed writes are left
+    // out: their cached entries fail round-log revalidation instead
+    // (conservative miss).
+    if let Some(token) = round {
+        let writes: Vec<(&[u8], Option<&[u8]>)> = batch
+            .iter()
+            .zip(&results)
+            .flat_map(|(sub, rs)| sub.ops.iter().zip(rs))
+            .filter_map(|(op, r)| match (op, r) {
+                (SubOp::Put { key, value }, SubResult::Ok) => {
+                    Some((key.as_slice(), Some(value.as_slice())))
+                }
+                (SubOp::Delete { key }, SubResult::Ok) => Some((key.as_slice(), None)),
+                _ => None,
+            })
+            .collect();
+        inner.cache.round_publish(token, &writes);
     }
     // Commit point: every write of the round is applied (durable under
     // eADR). Only now are acks released.

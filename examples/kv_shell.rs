@@ -16,7 +16,8 @@
 //!                      (`-` = unbounded end; pages follow automatically)
 //! del <key>            delete (alias: delete)
 //! ping                 liveness probe; `ping sync` also drains + quiesces
-//! stats                server counters + per-shard device summaries
+//! stats                server counters + hot-cache + per-shard device summaries
+//! cache [on|off|status]   toggle / inspect the hot-key cache tier
 //! snap                 full stats document (server + shards) as JSON
 //! crash                power-fail every shard, recover, restart the server
 //! help                 this text
@@ -95,6 +96,26 @@ fn print_stats(client: &KvClient) {
             n("server.group_commit.commits"),
             n("server.puts") + n("server.deletes") + n("server.batch_ops"),
             n("server.backpressure_waits"),
+        );
+        let hits = n("server.cache.hits");
+        let misses = n("server.cache.misses");
+        let probes = hits + misses;
+        let bytes = v
+            .get("server")
+            .and_then(|s| s.get("gauges"))
+            .and_then(|g| g.get("server.cache.bytes"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        println!(
+            "cache  : {} hits / {} probes ({:.1}% hit rate), {} fills, {} invalidations, {} evictions, {} bytes, {} tripwire",
+            hits,
+            probes,
+            if probes == 0 { 0.0 } else { hits as f64 / probes as f64 * 100.0 },
+            n("server.cache.fills"),
+            n("server.cache.invalidations"),
+            n("server.cache.evictions"),
+            bytes,
+            n("server.cache.tripwire"),
         );
     }
     if let Some(shards) = v.get("shards").and_then(Json::as_obj) {
@@ -212,6 +233,36 @@ fn main() {
                 }
             }
             Some("stats") => print_stats(&client),
+            Some("cache") => {
+                // The shell owns the server in-process, so the toggle acts
+                // directly on the tier (there is no wire opcode for it).
+                let cache = server.cache();
+                match parts.next() {
+                    Some("on") => {
+                        if cache.set_enabled(true) {
+                            println!("hot cache enabled (starts cold)");
+                        } else {
+                            println!("hot cache was built with zero capacity; cannot enable");
+                        }
+                    }
+                    Some("off") => {
+                        cache.set_enabled(false);
+                        println!("hot cache disabled (slabs purged)");
+                    }
+                    None | Some("status") => println!(
+                        "hot cache: {}, {} bytes cached",
+                        if !cache.has_capacity() {
+                            "no capacity"
+                        } else if cache.is_enabled() {
+                            "enabled"
+                        } else {
+                            "disabled"
+                        },
+                        cache.bytes(),
+                    ),
+                    Some(_) => println!("usage: cache [on|off|status]"),
+                }
+            }
             Some("snap") => match client.stats() {
                 Ok(doc) => println!("{doc}"),
                 Err(e) => println!("error: {e}"),
@@ -255,7 +306,7 @@ fn main() {
             }
             Some("help") => {
                 println!(
-                    "put <k> <v> | get <k> | scan <lo> <hi|-> [n] | del <k> | ping [sync] | stats | snap | crash | quit"
+                    "put <k> <v> | get <k> | scan <lo> <hi|-> [n] | del <k> | ping [sync] | stats | cache [on|off|status] | snap | crash | quit"
                 )
             }
             Some("quit") | Some("exit") => break,

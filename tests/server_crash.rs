@@ -17,7 +17,8 @@ use cachekv::{CacheKv, CacheKvConfig};
 use cachekv_cache::{CacheConfig, Hierarchy};
 use cachekv_lsm::KvStore;
 use cachekv_pmem::{FaultPlan, LatencyConfig, PersistDomain, PmemConfig, PmemDevice};
-use cachekv_server::{KvClient, KvServer, LoopbackTransport, ServerConfig};
+use cachekv_server::{HotCacheConfig, KvClient, KvServer, LoopbackTransport, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 const SHARDS: usize = 2;
@@ -42,12 +43,13 @@ fn device() -> Arc<PmemDevice> {
     ))
 }
 
-fn server_cfg() -> ServerConfig {
+fn server_cfg(cache: &HotCacheConfig) -> ServerConfig {
     // A small commit cap keeps many distinct group-commit rounds in the
     // event stream, so the sweep lands inside rounds, not between them.
     ServerConfig {
         shard_queue_cap: 64,
         group_commit_max: 8,
+        cache: cache.clone(),
         ..Default::default()
     }
 }
@@ -83,8 +85,40 @@ fn build_shards(plan0: FaultPlan) -> (Vec<TestShard>, Vec<Arc<dyn KvStore>>) {
 /// Drive `WRITERS` threads over one shared pipelined client; each returns
 /// its committed watermark: puts `0..count` were acked while shard 0's
 /// fault had not yet tripped, so the ack contract says they are durable.
-fn run_clients(client: &Arc<KvClient>, dev0: &Arc<PmemDevice>) -> Vec<usize> {
+/// With `readers`, two extra threads interleave GETs on already-written
+/// keys for the whole run, so the hot cache is filling and invalidating
+/// while group commits land and while the fault trips — any value they
+/// see must be exact (keys are write-once here).
+fn run_clients(client: &Arc<KvClient>, dev0: &Arc<PmemDevice>, readers: bool) -> Vec<usize> {
+    let writers_done = AtomicBool::new(false);
     std::thread::scope(|s| {
+        if readers {
+            for r in 0..2usize {
+                let client = client.clone();
+                let writers_done = &writers_done;
+                s.spawn(move || {
+                    let mut i = 0usize;
+                    while !writers_done.load(Ordering::Acquire) {
+                        let tid = (r + i) % WRITERS;
+                        let idx = i % PER_WRITER;
+                        match client.get(&key(tid, idx)) {
+                            // Not-yet-written or in-flight: fine. Present:
+                            // must be the exact committed bytes — a stale
+                            // or torn cached value fails here.
+                            Ok(None) => {}
+                            Ok(Some(v)) => assert_eq!(
+                                v,
+                                value(tid, idx),
+                                "mid-traffic GET returned wrong bytes for writer {tid} put {idx}"
+                            ),
+                            // The shard may error after its device tripped.
+                            Err(_) => break,
+                        }
+                        i += 1;
+                    }
+                });
+            }
+        }
         let handles: Vec<_> = (0..WRITERS)
             .map(|tid| {
                 let client = client.clone();
@@ -106,19 +140,26 @@ fn run_clients(client: &Arc<KvClient>, dev0: &Arc<PmemDevice>) -> Vec<usize> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let watermarks = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        writers_done.store(true, Ordering::Release);
+        watermarks
     })
 }
 
-#[test]
-fn acked_writes_survive_shard_crash_mid_group_commit() {
+/// The full mid-commit crash sweep, parametrized over the hot-cache
+/// configuration. With the cache on (and `readers` interleaving GETs),
+/// this additionally proves that cached reads never resurrect unacked
+/// writes and that recovery restarts with a cold, consistent cache — the
+/// post-crash verification reads run through a fresh cache tier and must
+/// match the recovered engines exactly.
+fn crash_sweep(cache: HotCacheConfig, readers: bool) {
     // Baseline: count persistence events for this workload shape.
     let total = {
         let (shards, stores) = build_shards(FaultPlan::count_only());
         let transport = LoopbackTransport::new();
-        let server = KvServer::start(stores, transport.clone(), server_cfg());
+        let server = KvServer::start(stores, transport.clone(), server_cfg(&cache));
         let client = Arc::new(KvClient::connect(transport.connect().unwrap()));
-        run_clients(&client, &shards[0].dev);
+        run_clients(&client, &shards[0].dev, readers);
         client.ping(true).unwrap();
         drop(client);
         server.shutdown();
@@ -130,9 +171,14 @@ fn acked_writes_survive_shard_crash_mid_group_commit() {
     for k in [total / 5, total / 3, total / 2, total * 3 / 4] {
         let (shards, stores) = build_shards(FaultPlan::at(k.max(1)));
         let transport = LoopbackTransport::new();
-        let server = KvServer::start(stores, transport.clone(), server_cfg());
+        let server = KvServer::start(stores, transport.clone(), server_cfg(&cache));
         let client = Arc::new(KvClient::connect(transport.connect().unwrap()));
-        let committed = run_clients(&client, &shards[0].dev);
+        let committed = run_clients(&client, &shards[0].dev, readers);
+        assert_eq!(
+            server.obs().cache_tripwire.get(),
+            0,
+            "crash at {k}: cache coherence tripwire fired pre-crash"
+        );
         // Shutdown drains every accepted submission; acks to the still-open
         // client may keep arriving, which is fine.
         drop(client);
@@ -180,7 +226,11 @@ fn acked_writes_survive_shard_crash_mid_group_commit() {
             })
             .collect();
         let transport = LoopbackTransport::new();
-        let server = KvServer::start(recovered, transport.clone(), server_cfg());
+        let server = KvServer::start(recovered, transport.clone(), server_cfg(&cache));
+        // The recovered server's cache starts cold: nothing cached from
+        // before the crash can exist, so every check below reads the
+        // recovered engine (and re-fills the cache from it).
+        assert_eq!(server.cache().bytes(), 0, "recovered cache must start cold");
         let client = KvClient::connect(transport.connect().unwrap());
 
         for (tid, &count) in committed.iter().enumerate() {
@@ -210,6 +260,11 @@ fn acked_writes_survive_shard_crash_mid_group_commit() {
                 );
             }
         }
+        assert_eq!(
+            server.obs().cache_tripwire.get(),
+            0,
+            "crash at {k}: cache coherence tripwire fired post-recovery"
+        );
         client.close();
         server.shutdown();
     }
@@ -220,4 +275,14 @@ fn acked_writes_survive_shard_crash_mid_group_commit() {
         tripped_mid_service > 0,
         "no crash point landed while clients were in flight"
     );
+}
+
+#[test]
+fn acked_writes_survive_shard_crash_mid_group_commit() {
+    crash_sweep(HotCacheConfig::disabled(), false);
+}
+
+#[test]
+fn acked_writes_survive_shard_crash_with_hot_cache() {
+    crash_sweep(HotCacheConfig::with_capacity(32 << 20), true);
 }
