@@ -353,11 +353,15 @@ impl Eviction for FifoEviction {
     }
 
     fn victim(&mut self, occupied: &[bool]) -> Option<usize> {
-        while let Some(s) = self.queue.pop_front() {
+        // Peek without rotating: if the caller's admission gate declines
+        // the candidate, the victim must stay at the front so eviction
+        // keeps following insertion order. The slot leaves the queue in
+        // `on_remove` when an eviction actually happens.
+        while let Some(&s) = self.queue.front() {
             if occupied.get(s).copied().unwrap_or(false) {
-                self.queue.push_back(s); // keep order if caller declines
                 return Some(s);
             }
+            self.queue.pop_front(); // stale slot id: discard
         }
         occupied.iter().position(|&o| o)
     }
@@ -514,29 +518,33 @@ impl Slab {
         self.map.get(key).copied()
     }
 
-    /// Remove the entry in `slot`, returning freed bytes.
-    fn remove_slot(&mut self, slot: usize, evicted: bool) -> usize {
+    /// Remove the entry in `slot`, returning freed bytes. The slot goes
+    /// back on the free list so the slot ring stays O(capacity) under
+    /// eviction/invalidation churn instead of growing per fill.
+    fn remove_slot(&mut self, slot: usize) -> usize {
         let Some(e) = self.slots[slot].take() else {
             return 0;
         };
         self.map.remove(&e.key);
         self.occupied[slot] = false;
-        if evicted {
-            // victim() already consumed the slot position
-        }
+        self.free.push(slot);
         self.evict.on_remove(slot);
         self.bytes -= e.bytes();
         e.bytes()
     }
 
     /// Install `entry`, evicting under `admission` as needed. Returns
-    /// `(delta_bytes, evictions)` or `None` if admission rejected the fill.
-    fn install(&mut self, entry: Entry, admission: &dyn Admission) -> Option<(i64, u64)> {
+    /// `(installed, delta_bytes, evictions)`; when admission rejects the
+    /// fill, `installed` is `false` but bytes already freed by earlier
+    /// eviction-loop iterations are still reported in `delta_bytes` /
+    /// `evictions` so the caller's gauges never drift from slab state.
+    fn install(&mut self, entry: Entry, admission: &dyn Admission) -> (bool, i64, u64) {
         let need = entry.bytes();
         if need > self.cap {
-            return None;
+            return (false, 0, 0);
         }
         let mut delta = 0i64;
+        let mut evictions = 0u64;
         // Overwrite in place if present.
         if let Some(slot) = self.slot_of(&entry.key) {
             let old = self.slots[slot].as_ref().expect("mapped slot occupied");
@@ -546,20 +554,20 @@ impl Slab {
             self.slots[slot] = Some(entry);
             self.evict.on_hit(slot);
             // Over-cap after a larger value: fall through to trim below.
-            let mut evictions = 0;
             while self.bytes > self.cap {
                 let Some(v) = self.pick_victim(None) else {
                     break;
                 };
-                delta -= self.remove_slot(v, true) as i64;
+                delta -= self.remove_slot(v) as i64;
                 evictions += 1;
             }
-            return Some((delta, evictions));
+            return (true, delta, evictions);
         }
-        let mut evictions = 0u64;
         while self.bytes + need > self.cap {
-            let v = self.pick_victim(Some((admission, entry.hash)))?;
-            delta -= self.remove_slot(v, true) as i64;
+            let Some(v) = self.pick_victim(Some((admission, entry.hash))) else {
+                return (false, delta, evictions);
+            };
+            delta -= self.remove_slot(v) as i64;
             evictions += 1;
         }
         let slot = self.free.pop().unwrap_or_else(|| {
@@ -573,7 +581,7 @@ impl Slab {
         self.slots[slot] = Some(entry);
         self.evict.on_insert(slot);
         delta += need as i64;
-        Some((delta, evictions))
+        (true, delta, evictions)
     }
 
     /// Choose an eviction victim; with `gate = (admission, candidate)`
@@ -593,11 +601,9 @@ impl Slab {
         let freed = self.bytes as i64;
         for slot in 0..self.slots.len() {
             if self.occupied[slot] {
-                self.remove_slot(slot, false);
+                self.remove_slot(slot);
             }
         }
-        self.free.clear();
-        self.free.extend(0..self.slots.len());
         -freed
     }
 }
@@ -763,7 +769,7 @@ impl HotCache {
         if clock.maybe_written_since(entry.stamp, epoch, h) {
             // A round since the stamp may have written the key (or log
             // coverage is gone): the value is unusable, drop it.
-            let delta = -(slab.remove_slot(slot, false) as i64);
+            let delta = -(slab.remove_slot(slot) as i64);
             self.obs.cache_bytes.add(delta);
             self.obs.cache_invalidations.inc();
             self.obs.cache_misses.inc();
@@ -811,13 +817,16 @@ impl HotCache {
             shard: shard as u32,
             stamp: token.epoch,
         };
-        match slab.install(entry, &*self.admission) {
-            Some((delta, evictions)) => {
-                self.obs.cache_bytes.add(delta);
-                self.obs.cache_fills.inc();
-                self.obs.cache_evictions.add(evictions);
-            }
-            None => self.obs.cache_admission_rejects.inc(),
+        let (installed, delta, evictions) = slab.install(entry, &*self.admission);
+        // Apply the accounting even when admission rejected the fill: the
+        // eviction loop may have freed entries before the gate declined,
+        // and those bytes must still leave the gauge.
+        self.obs.cache_bytes.add(delta);
+        self.obs.cache_evictions.add(evictions);
+        if installed {
+            self.obs.cache_fills.inc();
+        } else {
+            self.obs.cache_admission_rejects.inc();
         }
     }
 
@@ -859,7 +868,7 @@ impl HotCache {
                     self.obs.cache_invalidations.inc();
                     match val {
                         None => {
-                            let delta = -(slab.remove_slot(slot, false) as i64);
+                            let delta = -(slab.remove_slot(slot) as i64);
                             self.obs.cache_bytes.add(delta);
                         }
                         Some(v) => {
@@ -885,7 +894,7 @@ impl HotCache {
                     let Some(v) = slab.pick_victim(None) else {
                         break;
                     };
-                    delta -= slab.remove_slot(v, true) as i64;
+                    delta -= slab.remove_slot(v) as i64;
                     self.obs.cache_evictions.inc();
                 }
                 if delta != 0 {
@@ -1027,6 +1036,100 @@ mod tests {
         assert!(!c.has_capacity());
         assert!(!c.set_enabled(true));
         assert!(c.probe(0, b"k").is_err());
+    }
+
+    #[test]
+    fn slab_ring_stays_bounded_under_churn() {
+        // A long-running server must not grow the slot ring per fill:
+        // evicted and invalidated slots go back on the free list, so the
+        // ring stays O(capacity) no matter how many keys churn through.
+        let cap = 3 * (ENTRY_OVERHEAD + 10);
+        let c = cache(cap);
+        for i in 0..1000u32 {
+            let k = format!("key{i}");
+            let t = c.probe(0, k.as_bytes()).unwrap_err();
+            c.fill(0, k.as_bytes(), &[0u8; 8], t);
+            if i % 7 == 0 {
+                // Round-driven delete exercises the invalidation path's
+                // remove_slot as well as the eviction loop's.
+                let tok = c.round_begin(0, &[key_hash(k.as_bytes())]).unwrap();
+                c.round_publish(tok, &[(k.as_bytes(), None)]);
+            }
+        }
+        let slab = c.replicas[0].lock();
+        assert!(
+            slab.slots.len() <= 4,
+            "slot ring grew unboundedly: {} slots",
+            slab.slots.len()
+        );
+        assert_eq!(slab.slots.len(), slab.occupied.len());
+        // (HotCache::new may round the per-slab cap up to a small floor.)
+        assert!(slab.bytes <= slab.cap);
+        // The obs gauge must track actual slab bytes exactly.
+        assert_eq!(c.obs.cache_bytes.get(), slab.bytes as i64);
+    }
+
+    #[test]
+    fn admission_reject_keeps_gauge_in_sync() {
+        // With a sketch gate, a cold candidate is declined; any accounting
+        // from the attempt must still leave the gauge equal to slab bytes.
+        let obs = ServerObs::new();
+        let c = HotCache::new(
+            &HotCacheConfig {
+                capacity_bytes: 2 * (ENTRY_OVERHEAD + 2),
+                replicas: 1,
+                admission: AdmissionKind::Sketch,
+                eviction: EvictionKind::Clock,
+                round_log_slots: 8,
+            },
+            1,
+            obs,
+        );
+        // Make two keys hot enough to be admitted and defended.
+        for k in [b"a".as_slice(), b"b"] {
+            for _ in 0..8 {
+                let _ = c.probe(0, k); // records frequency
+            }
+            let t = c.probe(0, k).unwrap_err();
+            c.fill(0, k, b"v", t);
+        }
+        // One cold probe + fill: declined by admission.
+        let t = c.probe(0, b"x").unwrap_err();
+        c.fill(0, b"x", b"v", t);
+        assert_eq!(c.obs.cache_bytes.get(), c.bytes() as i64);
+    }
+
+    #[test]
+    fn fifo_keeps_insertion_order_across_declined_admission() {
+        let sketch = FreqSketch::new(256);
+        let mut slab = Slab::new(3 * (ENTRY_OVERHEAD + 2), EvictionKind::Fifo);
+        let mk = |k: &[u8]| Entry {
+            key: k.into(),
+            value: b"v".as_slice().into(),
+            hash: key_hash(k),
+            shard: 0,
+            stamp: 0,
+        };
+        for k in [b"a".as_slice(), b"b", b"c"] {
+            for _ in 0..10 {
+                sketch.record(key_hash(k));
+            }
+            assert!(slab.install(mk(k), &sketch).0);
+        }
+        // Cold candidate declined: must not rotate the FIFO queue, and no
+        // entry may have been evicted before the gate fired.
+        let (installed, _, evictions) = slab.install(mk(b"x"), &sketch);
+        assert!(!installed);
+        assert_eq!(evictions, 0);
+        // A hot candidate then evicts the *oldest* entry, proving the
+        // declined attempt did not disturb insertion order.
+        for _ in 0..20 {
+            sketch.record(key_hash(b"y"));
+        }
+        assert!(slab.install(mk(b"y"), &sketch).0);
+        assert!(slab.slot_of(b"a").is_none(), "oldest entry must go first");
+        assert!(slab.slot_of(b"b").is_some());
+        assert!(slab.slot_of(b"c").is_some());
     }
 
     #[test]
